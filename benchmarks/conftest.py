@@ -1,0 +1,40 @@
+"""Shared benchmark utilities.
+
+Every bench file reproduces one table or figure of the paper: it runs
+the preset experiment grid, prints the same rows/series the paper
+reports, and persists the report under ``benchmarks/results/`` so the
+numbers survive the pytest-benchmark output capture.
+
+Run the whole suite with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+from contextlib import redirect_stdout
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_and_report(benchmark, name: str, fn):
+    """Run ``fn`` once under pytest-benchmark and persist its printout.
+
+    ``fn`` prints a report and returns a result payload; the printed
+    text is mirrored to ``benchmarks/results/<name>.txt`` and echoed to
+    the live stdout.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def wrapped():
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            payload = fn()
+        text = buffer.getvalue()
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        print(text)
+        return payload
+
+    return benchmark.pedantic(wrapped, rounds=1, iterations=1)

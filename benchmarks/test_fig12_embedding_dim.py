@@ -1,0 +1,40 @@
+"""Fig. 12 — embedding-dimension sweep.
+
+Paper claim: SL/BSL keep improving (or stay competitive with SOTA) as
+the embedding size grows, and remain strong at low dimensions.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.presets import fig12_specs
+from repro.experiments.report import print_header, print_series
+
+from conftest import run_and_report
+
+
+def _run():
+    specs = fig12_specs()
+    dims = sorted({d for _, _, d in specs})
+    labels = ("MF_SL", "MF_BSL", "LGN_SL", "SimGCL")
+    datasets = sorted({d for d, _, _ in specs})
+    ndcg = {key: run_experiment(spec).metric("ndcg@20")
+            for key, spec in specs.items()}
+    for dataset in datasets:
+        print_header(f"Fig. 12 — NDCG@20 vs embedding dim on {dataset}")
+        for label in labels:
+            print_series(label, dims,
+                         [ndcg[(dataset, label, d)] for d in dims])
+    return {"ndcg": ndcg, "dims": dims, "datasets": datasets}
+
+
+def test_fig12_embedding_dim(benchmark):
+    payload = run_and_report(benchmark, "fig12_embedding_dim", _run)
+    ndcg, dims = payload["ndcg"], payload["dims"]
+    for dataset in payload["datasets"]:
+        # At the largest dim, MF+SL/BSL at least match SimGCL.
+        top = max(dims)
+        basic = max(ndcg[(dataset, "MF_SL", top)],
+                    ndcg[(dataset, "MF_BSL", top)])
+        assert basic >= ndcg[(dataset, "SimGCL", top)] * 0.95, dataset
+        # SL does not collapse at the smallest dim (practical low-dim use).
+        assert ndcg[(dataset, "MF_SL", min(dims))] >= \
+            0.6 * ndcg[(dataset, "MF_SL", top)], dataset

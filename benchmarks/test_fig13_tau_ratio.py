@@ -1,0 +1,41 @@
+"""Fig. 13 — sensitivity to the τ1/τ2 ratio of BSL.
+
+Paper claim: performance peaks at an interior ratio; an excessively
+large τ1 (ratio 2.0 — tiny positive-robustness radius) and an overly
+small τ1 (ratio 0.5 — implausible worst case) both hurt.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.presets import fig13_specs
+from repro.experiments.report import print_header, print_series
+
+from conftest import run_and_report
+
+
+def _run():
+    specs = fig13_specs()
+    ratios = sorted({r for _, _, r in specs})
+    datasets = sorted({d for d, _, _ in specs})
+    ndcg = {key: run_experiment(spec).metric("ndcg@20")
+            for key, spec in specs.items()}
+    for dataset in datasets:
+        print_header(f"Fig. 13 — NDCG@20 vs tau1/tau2 on {dataset}")
+        for model in ("mf", "lightgcn"):
+            print_series(model.upper(), ratios,
+                         [ndcg[(dataset, model, r)] for r in ratios])
+    return {"ndcg": ndcg, "ratios": ratios, "datasets": datasets}
+
+
+def test_fig13_tau_ratio(benchmark):
+    payload = run_and_report(benchmark, "fig13_tau_ratio", _run)
+    ndcg, ratios = payload["ndcg"], payload["ratios"]
+    for dataset in payload["datasets"]:
+        for model in ("mf", "lightgcn"):
+            series = {r: ndcg[(dataset, model, r)] for r in ratios}
+            best_ratio = max(series, key=series.get)
+            # Interior optimum: the extremes are never the best point.
+            assert best_ratio not in (min(ratios), max(ratios)), (
+                dataset, model, best_ratio)
+            # The extreme ratios clearly hurt relative to the peak.
+            assert series[max(ratios)] < series[best_ratio]
+            assert series[min(ratios)] < series[best_ratio]

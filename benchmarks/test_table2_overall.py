@@ -1,0 +1,65 @@
+"""Table II — overall comparison: {MF, NGCF, LightGCN} x {BPR, BCE, MSE,
+SL, BSL} on all four datasets, plus standalone baselines (CML, ENMF,
+SGL, SimGCL, LightGCL).
+
+Paper claims: SL and BSL top every backbone column by a clear margin;
+BSL >= SL nearly everywhere; basic backbones with SL/BSL match or beat
+the standalone SOTA baselines.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.presets import ALL_DATASETS, table2_specs
+from repro.experiments.report import print_table
+
+from conftest import run_and_report
+
+_BACKBONES = ("MF", "NGCF", "LGN")
+_LOSSES = ("BPR", "BCE", "MSE", "SL", "BSL")
+_BASELINES = ("CML", "ENMF", "SGL", "SimGCL", "LightGCL")
+
+
+def _run():
+    specs = table2_specs()
+    metrics = {key: run_experiment(spec).metrics
+               for key, spec in specs.items()}
+    for dataset in ALL_DATASETS:
+        rows = []
+        for label in _BASELINES:
+            m = metrics[(dataset, label)]
+            rows.append([label, m["recall@20"], m["ndcg@20"]])
+        for backbone in _BACKBONES:
+            for loss in _LOSSES:
+                m = metrics[(dataset, f"{backbone}+{loss}")]
+                rows.append([f"{backbone}+{loss}", m["recall@20"],
+                             m["ndcg@20"]])
+        print_table(f"Table II — {dataset}",
+                    ["model", "Recall@20", "NDCG@20"], rows)
+    return metrics
+
+
+def test_table2_overall(benchmark):
+    metrics = run_and_report(benchmark, "table2_overall", _run)
+
+    def ndcg(dataset, label):
+        return metrics[(dataset, label)]["ndcg@20"]
+
+    wins = 0
+    cells = 0
+    for dataset in ALL_DATASETS:
+        for backbone in _BACKBONES:
+            sl_like = max(ndcg(dataset, f"{backbone}+SL"),
+                          ndcg(dataset, f"{backbone}+BSL"))
+            baseline = max(ndcg(dataset, f"{backbone}+{loss}")
+                           for loss in ("BPR", "BCE", "MSE"))
+            cells += 1
+            if sl_like >= baseline * 0.98:
+                wins += 1
+    # SL/BSL must win (or tie within 2%) the overwhelming majority of
+    # backbone columns.
+    assert wins >= cells - 1, f"SL/BSL won only {wins}/{cells} columns"
+    # BSL >= SL on average across all cells.
+    bsl_avg = sum(ndcg(d, f"{b}+BSL") for d in ALL_DATASETS
+                  for b in _BACKBONES)
+    sl_avg = sum(ndcg(d, f"{b}+SL") for d in ALL_DATASETS
+                 for b in _BACKBONES)
+    assert bsl_avg >= sl_avg * 0.98

@@ -1,0 +1,48 @@
+"""Table III — applying SL/BSL to the SSL SOTA models (SGL, SimGCL,
+LightGCL).
+
+Paper claim: replacing each model's ranking loss (BPR) with SL improves
+it; BSL improves it at least as much, on average across datasets.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.presets import ALL_DATASETS, table3_specs
+from repro.experiments.report import print_table, relative_gain
+
+from conftest import run_and_report
+
+_MODELS = ("sgl", "simgcl", "lightgcl")
+
+
+def _run():
+    specs = table3_specs()
+    metrics = {key: run_experiment(spec).metrics
+               for key, spec in specs.items()}
+    for model in _MODELS:
+        rows = []
+        for dataset in ALL_DATASETS:
+            base = metrics[(dataset, model, "base")]
+            row = [dataset, base["ndcg@20"]]
+            for variant in ("sl", "bsl"):
+                m = metrics[(dataset, model, variant)]
+                row.extend([m["ndcg@20"],
+                            relative_gain(m["ndcg@20"], base["ndcg@20"])])
+            rows.append(row)
+        print_table(f"Table III — {model.upper()} (+SL / +BSL), NDCG@20",
+                    ["dataset", "base", "+SL", "gain %", "+BSL",
+                     "gain %"], rows)
+    return metrics
+
+
+def test_table3_sota(benchmark):
+    metrics = run_and_report(benchmark, "table3_sota", _run)
+
+    def avg(model, variant):
+        return sum(metrics[(d, model, variant)]["ndcg@20"]
+                   for d in ALL_DATASETS) / len(ALL_DATASETS)
+
+    for model in _MODELS:
+        # On average SL improves the base model...
+        assert avg(model, "sl") >= avg(model, "base") * 0.99, model
+        # ...and BSL is at least on par with SL.
+        assert avg(model, "bsl") >= avg(model, "sl") * 0.98, model

@@ -1,0 +1,50 @@
+"""Table IV — SL vs BSL under 10-40% injected positive noise.
+
+Paper claims: BSL beats SL at every noise level, and the improvement
+widens as the noise ratio grows.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.presets import ALL_DATASETS, table4_specs
+from repro.experiments.report import print_table, relative_gain
+
+from conftest import run_and_report
+
+_RATIOS = (0.1, 0.2, 0.3, 0.4)
+
+
+def _run():
+    specs = table4_specs()
+    metrics = {key: run_experiment(spec).metrics
+               for key, spec in specs.items()}
+    rows = []
+    for ratio in _RATIOS:
+        for dataset in ALL_DATASETS:
+            sl = metrics[(dataset, ratio, "sl")]
+            bsl = metrics[(dataset, ratio, "bsl")]
+            rows.append([f"{ratio:.0%}", dataset,
+                         sl["recall@20"], sl["ndcg@20"],
+                         bsl["recall@20"], bsl["ndcg@20"],
+                         relative_gain(bsl["ndcg@20"], sl["ndcg@20"])])
+    print_table("Table IV — MF-SL vs MF-BSL under positive noise",
+                ["noise", "dataset", "SL R@20", "SL N@20", "BSL R@20",
+                 "BSL N@20", "NDCG gain %"], rows)
+    return metrics
+
+
+def test_table4_positive_noise(benchmark):
+    metrics = run_and_report(benchmark, "table4_positive_noise", _run)
+
+    def gain(dataset, ratio):
+        sl = metrics[(dataset, ratio, "sl")]["ndcg@20"]
+        bsl = metrics[(dataset, ratio, "bsl")]["ndcg@20"]
+        return bsl / sl
+
+    # BSL wins in the overwhelming majority of cells.
+    cells = [(d, r) for d in ALL_DATASETS for r in _RATIOS]
+    wins = sum(1 for d, r in cells if gain(d, r) >= 1.0)
+    assert wins >= len(cells) * 0.75, f"BSL won only {wins}/{len(cells)}"
+    # Average gain at 40% noise >= average gain at 10% noise.
+    avg_low = sum(gain(d, 0.1) for d in ALL_DATASETS) / len(ALL_DATASETS)
+    avg_high = sum(gain(d, 0.4) for d in ALL_DATASETS) / len(ALL_DATASETS)
+    assert avg_high >= avg_low * 0.98

@@ -1,0 +1,68 @@
+"""Noise-robustness study (the paper's RQ2/RQ3 in miniature).
+
+Two corruptions are applied to the training data while the test split
+stays clean:
+
+1. **False positives** — a fraction of fake interactions is injected
+   (clickbait / conformity noise, Sec. IV-A).  BSL's separate positive
+   temperature lets it degrade more slowly than SL (Table IV).
+2. **False negatives** — the negative sampler draws positives at an
+   elevated rate (``rnoise``, Sec. III-B).  SL/BSL absorb this via
+   their DRO structure while MSE suffers (Fig. 8).
+
+Run:  python examples/noise_robustness.py
+"""
+
+from repro.data import inject_positive_noise, load_dataset
+from repro.eval import evaluate_model
+from repro.losses import get_loss
+from repro.models import MF
+from repro.train import TrainConfig, train_model
+
+
+def train_and_eval(loss, train_dataset, clean_dataset, rnoise=0.0):
+    config = TrainConfig(epochs=18, batch_size=1024, learning_rate=5e-2,
+                         n_negatives=128, rnoise=rnoise, seed=0)
+    model = MF(clean_dataset.num_users, clean_dataset.num_items, dim=64,
+               rng=0)
+    train_model(model, loss, train_dataset, config)
+    return evaluate_model(model, clean_dataset)["ndcg@20"]
+
+
+def positive_noise_study(dataset):
+    print("-- False positives (Table IV direction) --")
+    print(f"{'noise':>6} {'SL':>8} {'BSL':>8} {'BSL gain':>9}")
+    for ratio in (0.0, 0.2, 0.4):
+        noisy = inject_positive_noise(dataset, ratio, rng=1)
+        sl = train_and_eval(get_loss("sl", tau=0.4), noisy, dataset)
+        # BSL widens tau1/tau2 as noise grows, as the paper tunes it.
+        tau1 = 0.4 * (1.1 + 0.125 * ratio)
+        bsl = train_and_eval(get_loss("bsl", tau1=tau1, tau2=0.4),
+                             noisy, dataset)
+        gain = 100 * (bsl / sl - 1)
+        print(f"{ratio:>6.0%} {sl:>8.4f} {bsl:>8.4f} {gain:>+8.1f}%")
+
+
+def negative_noise_study(dataset):
+    print("\n-- False negatives (Fig. 8 direction) --")
+    print(f"{'rnoise':>6} {'MSE':>8} {'SL':>8}  (SL tau retuned per noise)")
+    for rnoise in (0.0, 3.0, 7.0):
+        mse = train_and_eval(get_loss("mse"), dataset, dataset,
+                             rnoise=rnoise)
+        # Corollary III.1: noisier negatives need a larger tau (the
+        # paper grid-searches per noise level; we use its trend).
+        tau = 0.4 + 0.06 * rnoise
+        sl = train_and_eval(get_loss("sl", tau=tau), dataset, dataset,
+                            rnoise=rnoise)
+        print(f"{rnoise:>6.1f} {mse:>8.4f} {sl:>8.4f}")
+
+
+def main():
+    dataset = load_dataset("gowalla-small")
+    print(f"Dataset: {dataset}\n")
+    positive_noise_study(dataset)
+    negative_noise_study(dataset)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro — reproduction of "BSL: Understanding and Improving Softmax Loss
+for Recommendation" (Wu et al., ICDE 2024).
+
+The package provides:
+
+* :mod:`repro.tensor` / :mod:`repro.nn` — a numpy autograd substrate;
+* :mod:`repro.data` — synthetic implicit-feedback datasets with
+  controllable false-positive/false-negative noise;
+* :mod:`repro.losses` — BPR, BCE, MSE, SL and the proposed BSL;
+* :mod:`repro.models` — MF, NGCF, LightGCN, SGL, SimGCL, LightGCL, ...;
+* :mod:`repro.dro` — the paper's DRO analysis tools (worst-case tilts,
+  robustness radius, Lemma 2 variance expansion);
+* :mod:`repro.eval` / :mod:`repro.train` — evaluation and training;
+* :mod:`repro.analysis` / :mod:`repro.experiments` — t-SNE, separation
+  scores and the per-figure experiment harness.
+
+Quickstart::
+
+    from repro.data import load_dataset
+    from repro.losses import BSLLoss
+    from repro.models import MF
+    from repro.train import train_model
+
+    dataset = load_dataset("yelp2018-small")
+    model = MF(dataset.num_users, dataset.num_items, dim=64, rng=0)
+    result = train_model(model, BSLLoss(tau1=0.12, tau2=0.1), dataset)
+"""
+
+__version__ = "1.0.0"

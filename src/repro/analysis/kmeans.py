@@ -1,0 +1,67 @@
+"""Plain k-means (Lloyd's algorithm) on numpy.
+
+Used by the NCL backbone for its prototype-contrastive branch
+(semantic neighbours) and available as a general analysis utility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.random import ensure_rng
+
+__all__ = ["kmeans"]
+
+
+def kmeans(x: np.ndarray, n_clusters: int, n_iter: int = 20,
+           rng=None) -> tuple[np.ndarray, np.ndarray]:
+    """Cluster rows of ``x`` into ``n_clusters`` groups.
+
+    Returns ``(centroids, labels)``.  Initialization is k-means++-style
+    (distance-weighted seeding); empty clusters are reseeded to the
+    farthest point.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"x must be 2-D, got shape {x.shape}")
+    if not 1 <= n_clusters <= len(x):
+        raise ValueError(f"need 1 <= n_clusters <= {len(x)}, "
+                         f"got {n_clusters}")
+    rng = ensure_rng(rng)
+
+    centroids = _plus_plus_init(x, n_clusters, rng)
+    labels = np.zeros(len(x), dtype=np.int64)
+    for _ in range(n_iter):
+        dists = _sq_dists(x, centroids)
+        new_labels = dists.argmin(axis=1)
+        if np.array_equal(new_labels, labels):
+            labels = new_labels
+            break
+        labels = new_labels
+        for c in range(n_clusters):
+            members = x[labels == c]
+            if len(members) == 0:
+                farthest = dists.min(axis=1).argmax()
+                centroids[c] = x[farthest]
+            else:
+                centroids[c] = members.mean(axis=0)
+    return centroids, labels
+
+
+def _plus_plus_init(x: np.ndarray, k: int, rng) -> np.ndarray:
+    centroids = [x[rng.integers(len(x))]]
+    for _ in range(k - 1):
+        dists = _sq_dists(x, np.asarray(centroids)).min(axis=1)
+        total = dists.sum()
+        if total <= 0:
+            centroids.append(x[rng.integers(len(x))])
+            continue
+        probs = dists / total
+        centroids.append(x[rng.choice(len(x), p=probs)])
+    return np.asarray(centroids)
+
+
+def _sq_dists(x: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    x_sq = (x ** 2).sum(axis=1, keepdims=True)
+    c_sq = (centroids ** 2).sum(axis=1)
+    return np.maximum(x_sq + c_sq - 2.0 * x @ centroids.T, 0.0)

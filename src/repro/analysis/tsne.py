@@ -1,0 +1,105 @@
+"""Exact t-SNE (van der Maaten & Hinton, 2008) in numpy.
+
+Used for the Figs. 10-11 embedding-visualization study: the paper
+projects item embeddings to 2-D and inspects cluster separation under
+positive noise.  scikit-learn is unavailable offline, so this is a
+self-contained exact implementation: binary-search perplexity
+calibration, early exaggeration, and momentum gradient descent.
+Exact (O(n^2)) is fine at our item-catalogue scales (< 1k points).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.random import ensure_rng
+
+__all__ = ["tsne"]
+
+
+def _pairwise_sq_dists(x: np.ndarray) -> np.ndarray:
+    sq = (x ** 2).sum(axis=1)
+    d = sq[:, None] + sq[None, :] - 2.0 * x @ x.T
+    np.fill_diagonal(d, 0.0)
+    return np.maximum(d, 0.0)
+
+
+def _row_p_given_perplexity(dists_row: np.ndarray, target_entropy: float,
+                            tol: float = 1e-5, max_iter: int = 50
+                            ) -> np.ndarray:
+    """Binary search the Gaussian precision matching the perplexity."""
+    lo, hi = 0.0, np.inf
+    beta = 1.0
+    for _ in range(max_iter):
+        logits = -dists_row * beta
+        logits -= logits.max()
+        p = np.exp(logits)
+        p_sum = p.sum()
+        p /= p_sum
+        # Shannon entropy in nats.
+        nonzero = p > 0
+        entropy = -np.sum(p[nonzero] * np.log(p[nonzero]))
+        diff = entropy - target_entropy
+        if abs(diff) < tol:
+            break
+        if diff > 0:  # entropy too high -> sharpen
+            lo = beta
+            beta = beta * 2.0 if hi == np.inf else (beta + hi) / 2.0
+        else:
+            hi = beta
+            beta = (beta + lo) / 2.0
+    return p
+
+
+def _joint_probabilities(x: np.ndarray, perplexity: float) -> np.ndarray:
+    n = len(x)
+    dists = _pairwise_sq_dists(x)
+    target_entropy = np.log(perplexity)
+    p_cond = np.zeros((n, n))
+    idx = np.arange(n)
+    for i in range(n):
+        mask = idx != i
+        p_cond[i, mask] = _row_p_given_perplexity(dists[i, mask],
+                                                  target_entropy)
+    p = (p_cond + p_cond.T) / (2.0 * n)
+    return np.maximum(p, 1e-12)
+
+
+def tsne(x, n_components: int = 2, perplexity: float = 30.0,
+         n_iter: int = 300, learning_rate: float = 100.0,
+         early_exaggeration: float = 4.0, rng=None) -> np.ndarray:
+    """Project ``x`` (n, d) to ``(n, n_components)`` with exact t-SNE.
+
+    Parameters mirror the common sklearn defaults (scaled down for our
+    point counts).  Deterministic for a fixed ``rng``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"x must be 2-D, got shape {x.shape}")
+    n = len(x)
+    if n < 5:
+        raise ValueError("t-SNE needs at least 5 points")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+    rng = ensure_rng(rng)
+
+    p = _joint_probabilities(x, perplexity)
+    y = rng.normal(0.0, 1e-4, size=(n, n_components))
+    velocity = np.zeros_like(y)
+    exaggeration_until = min(100, n_iter // 4)
+
+    for it in range(n_iter):
+        p_eff = p * early_exaggeration if it < exaggeration_until else p
+        # Student-t affinities in the embedding.
+        dists = _pairwise_sq_dists(y)
+        inv = 1.0 / (1.0 + dists)
+        np.fill_diagonal(inv, 0.0)
+        q = inv / inv.sum()
+        q = np.maximum(q, 1e-12)
+        # Gradient of KL(P||Q).
+        coeff = (p_eff - q) * inv
+        grad = 4.0 * ((np.diag(coeff.sum(axis=1)) - coeff) @ y)
+        momentum = 0.5 if it < exaggeration_until else 0.8
+        velocity = momentum * velocity - learning_rate * grad
+        y += velocity
+        y -= y.mean(axis=0)
+    return y

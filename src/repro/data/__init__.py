@@ -1,0 +1,20 @@
+"""Datasets, synthetic generation, sampling and noise injection."""
+
+from repro.data.dataset import InteractionDataset
+from repro.data.synthetic import (SyntheticConfig, SyntheticGenerator,
+                                  generate_dataset, load_dataset,
+                                  dataset_names, DATASET_PRESETS)
+from repro.data.sampling import (TrainingBatch, UniformNegativeSampler,
+                                 InBatchSampler, PopularityNegativeSampler)
+from repro.data.noise import inject_positive_noise, positive_noise_rate
+from repro.data.splits import (ratio_split, leave_one_out_split,
+                               validation_split)
+
+__all__ = [
+    "InteractionDataset", "SyntheticConfig", "SyntheticGenerator",
+    "generate_dataset", "load_dataset", "dataset_names", "DATASET_PRESETS",
+    "TrainingBatch", "UniformNegativeSampler", "InBatchSampler",
+    "PopularityNegativeSampler", "inject_positive_noise",
+    "positive_noise_rate", "ratio_split", "leave_one_out_split",
+    "validation_split",
+]

@@ -1,0 +1,80 @@
+"""Reading and writing interaction files.
+
+Real-world adoption path: load the LightGCN-style ``train.txt`` /
+``test.txt`` format (one line per user: ``user item item ...``) or a
+plain pair/TSV format, and save datasets back out.  The paper's public
+datasets ship in the LightGCN format, so a user with the real dumps can
+drop them in and rerun every bench against them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+
+__all__ = ["read_pairs", "read_adjacency_lists", "load_lightgcn_format",
+           "save_lightgcn_format"]
+
+
+def read_pairs(path, delimiter=None) -> np.ndarray:
+    """Read ``user item`` pairs (one per line) into an ``(n, 2)`` array."""
+    rows = []
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, 1):
+            parts = line.split(delimiter)
+            if not parts or parts == [""]:
+                continue
+            if len(parts) < 2:
+                raise ValueError(f"{path}:{line_no}: expected 'user item'")
+            rows.append((int(parts[0]), int(parts[1])))
+    return np.asarray(rows, dtype=np.int64).reshape(-1, 2)
+
+
+def read_adjacency_lists(path) -> np.ndarray:
+    """Read LightGCN-style lines ``user item1 item2 ...`` into pairs."""
+    rows = []
+    with open(path) as handle:
+        for line in handle:
+            parts = line.split()
+            if not parts:
+                continue
+            user = int(parts[0])
+            rows.extend((user, int(item)) for item in parts[1:])
+    if not rows:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.asarray(rows, dtype=np.int64)
+
+
+def load_lightgcn_format(train_path, test_path,
+                         name: str = "custom") -> InteractionDataset:
+    """Build a dataset from LightGCN-style train/test files.
+
+    Entity counts are inferred as ``max id + 1`` over both files.
+    """
+    train_pairs = read_adjacency_lists(train_path)
+    test_pairs = read_adjacency_lists(test_path)
+    if len(train_pairs) == 0:
+        raise ValueError(f"no interactions found in {train_path}")
+    all_pairs = np.concatenate([train_pairs, test_pairs]) \
+        if len(test_pairs) else train_pairs
+    num_users = int(all_pairs[:, 0].max()) + 1
+    num_items = int(all_pairs[:, 1].max()) + 1
+    return InteractionDataset(num_users, num_items, train_pairs,
+                              test_pairs, name=name)
+
+
+def save_lightgcn_format(dataset: InteractionDataset, train_path,
+                         test_path) -> None:
+    """Write a dataset back out in the LightGCN adjacency-list format."""
+    for path, items_by_user in ((train_path, dataset.train_items_by_user),
+                                (test_path, dataset.test_items_by_user)):
+        path = pathlib.Path(path)
+        with open(path, "w") as handle:
+            for user, items in enumerate(items_by_user):
+                if len(items) == 0:
+                    continue
+                joined = " ".join(str(int(i)) for i in items)
+                handle.write(f"{user} {joined}\n")

@@ -1,0 +1,194 @@
+"""Negative sampling strategies.
+
+The paper trains with either *uniform negative sampling* (MF) or
+*in-batch negatives* (GCN backbones, Appendix Table V), and probes
+robustness by letting the sampler draw false negatives at a controlled
+rate ``rnoise`` (Sec. III-B, Figs. 3/8): ``rnoise`` is the ratio of the
+sampling probability of a positive item to that of a negative item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+from repro.tensor.random import ensure_rng
+
+__all__ = ["TrainingBatch", "UniformNegativeSampler", "InBatchSampler",
+           "PopularityNegativeSampler"]
+
+
+@dataclass
+class TrainingBatch:
+    """One mini-batch of (user, positive, negatives) triples.
+
+    ``negatives`` has shape ``(batch, n_negatives)``; for in-batch
+    sampling each row simply reuses the other positives of the batch.
+    """
+
+    users: np.ndarray
+    positives: np.ndarray
+    negatives: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+
+class _PairShuffler:
+    """Shared epoch logic: shuffle training pairs and cut mini-batches."""
+
+    def __init__(self, dataset: InteractionDataset, batch_size: int, rng=None):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self._rng = ensure_rng(rng)
+
+    def _epoch_pairs(self) -> np.ndarray:
+        pairs = self.dataset.train_pairs
+        order = self._rng.permutation(len(pairs))
+        return pairs[order]
+
+
+class UniformNegativeSampler(_PairShuffler):
+    """Uniform sampling of ``n_negatives`` items per positive pair.
+
+    Parameters
+    ----------
+    n_negatives:
+        Number of negatives per (user, positive) pair; the paper sweeps
+        {32 ... 2048} in Fig. 9.
+    rnoise:
+        False-negative intensity (Fig. 3/8).  A sampled negative slot is
+        drawn from the user's *positive* set with probability
+        ``rnoise * |S+| / (rnoise * |S+| + |S-|)`` — i.e. each positive
+        item is ``rnoise`` times as likely to be drawn as each true
+        negative item, exactly the paper's definition.
+    exclude_positives:
+        If True (and ``rnoise == 0``) resample collisions with the
+        user's training positives, giving clean negatives.
+    """
+
+    def __init__(self, dataset: InteractionDataset, n_negatives: int = 64,
+                 batch_size: int = 1024, rnoise: float = 0.0,
+                 exclude_positives: bool = True, rng=None):
+        super().__init__(dataset, batch_size, rng)
+        if n_negatives <= 0:
+            raise ValueError(f"n_negatives must be positive, got {n_negatives}")
+        if rnoise < 0:
+            raise ValueError(f"rnoise must be non-negative, got {rnoise}")
+        self.n_negatives = n_negatives
+        self.rnoise = rnoise
+        self.exclude_positives = exclude_positives
+
+    def epoch(self):
+        """Yield :class:`TrainingBatch` objects covering one epoch."""
+        pairs = self._epoch_pairs()
+        for lo in range(0, len(pairs), self.batch_size):
+            chunk = pairs[lo:lo + self.batch_size]
+            users, positives = chunk[:, 0], chunk[:, 1]
+            negatives = self._draw_negatives(users)
+            yield TrainingBatch(users, positives, negatives)
+
+    def _draw_negatives(self, users: np.ndarray) -> np.ndarray:
+        n_items = self.dataset.num_items
+        negatives = self._rng.integers(
+            0, n_items, size=(len(users), self.n_negatives))
+        if self.rnoise > 0:
+            # Exact rnoise semantics: every slot is a true negative unless
+            # explicitly corrupted, so the positive/negative sampling-
+            # probability ratio is exactly rnoise.
+            self._resample_collisions(users, negatives)
+            self._mix_in_false_negatives(users, negatives)
+        elif self.exclude_positives:
+            self._resample_collisions(users, negatives)
+        return negatives
+
+    def _mix_in_false_negatives(self, users: np.ndarray,
+                                negatives: np.ndarray) -> None:
+        """Overwrite slots with positives at the rnoise-implied rate.
+
+        Vectorized: per-row slot-corruption probabilities follow the
+        paper's definition, and the replacement items are drawn from the
+        padded positive matrix in one gather.
+        """
+        padded, degrees = self.dataset.padded_positives()
+        deg = degrees[users].astype(np.float64)                     # (B,)
+        n_neg = self.dataset.num_items - deg
+        with np.errstate(divide="ignore", invalid="ignore"):
+            p_pos = np.where(deg > 0,
+                             self.rnoise * deg / (self.rnoise * deg + n_neg),
+                             0.0)
+        corrupt = self._rng.random(negatives.shape) < p_pos[:, None]
+        if not corrupt.any():
+            return
+        slot = (self._rng.random(negatives.shape)
+                * np.maximum(deg, 1.0)[:, None]).astype(np.int64)
+        replacements = padded[users[:, None], slot]
+        negatives[corrupt] = replacements[corrupt]
+
+    def _resample_collisions(self, users: np.ndarray,
+                             negatives: np.ndarray) -> None:
+        """Reject-and-redraw negatives colliding with training positives.
+
+        Bulk rejection against the dense positive mask; a handful of
+        rounds drives the collision count to ~0 at realistic densities.
+        """
+        mask = self.dataset.positive_mask()
+        for _ in range(20):
+            collisions = mask[users[:, None], negatives]
+            n_bad = int(collisions.sum())
+            if n_bad == 0:
+                return
+            negatives[collisions] = self._rng.integers(
+                0, self.dataset.num_items, size=n_bad)
+
+
+class PopularityNegativeSampler(UniformNegativeSampler):
+    """Popularity-weighted negatives, ``P(j) ∝ pop(j)^beta``.
+
+    Kept as an ablation: prior work attributed SL's fairness to
+    popularity-based sampling; the paper shows uniform sampling already
+    yields it, so benches compare the two.
+    """
+
+    def __init__(self, dataset: InteractionDataset, n_negatives: int = 64,
+                 batch_size: int = 1024, beta: float = 0.75, rng=None):
+        super().__init__(dataset, n_negatives=n_negatives,
+                         batch_size=batch_size, rnoise=0.0,
+                         exclude_positives=False, rng=rng)
+        weights = np.maximum(dataset.item_popularity, 1) ** beta
+        self._probs = weights / weights.sum()
+        self.beta = beta
+
+    def _draw_negatives(self, users: np.ndarray) -> np.ndarray:
+        return self._rng.choice(
+            self.dataset.num_items, size=(len(users), self.n_negatives),
+            p=self._probs)
+
+
+class InBatchSampler(_PairShuffler):
+    """In-batch negatives: other positives in the batch serve as negatives.
+
+    Mirrors the paper's Algorithm 2 (used for NGCF/LightGCN).  Each batch
+    row ``b`` uses the other ``B - 1`` positive items as its negative set.
+    """
+
+    def epoch(self):
+        pairs = self._epoch_pairs()
+        for lo in range(0, len(pairs), self.batch_size):
+            chunk = pairs[lo:lo + self.batch_size]
+            if len(chunk) < 2:
+                continue  # a single pair has no in-batch negatives
+            users, positives = chunk[:, 0], chunk[:, 1]
+            negatives = self._in_batch_negatives(positives)
+            yield TrainingBatch(users, positives, negatives)
+
+    @staticmethod
+    def _in_batch_negatives(positives: np.ndarray) -> np.ndarray:
+        batch = len(positives)
+        tiled = np.broadcast_to(positives, (batch, batch))
+        mask = ~np.eye(batch, dtype=bool)
+        return tiled[mask].reshape(batch, batch - 1)

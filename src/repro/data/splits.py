@@ -1,0 +1,114 @@
+"""Train/test splitting utilities.
+
+The synthetic generator splits internally, but users bringing their own
+interaction logs need the standard protocols: per-user ratio holdout
+(the LightGCN/paper convention) and leave-one-out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+from repro.tensor.random import ensure_rng
+
+__all__ = ["ratio_split", "leave_one_out_split", "validation_split"]
+
+
+def _group_by_user(pairs: np.ndarray) -> dict[int, np.ndarray]:
+    order = np.argsort(pairs[:, 0], kind="stable")
+    pairs = pairs[order]
+    users, starts = np.unique(pairs[:, 0], return_index=True)
+    bounds = np.append(starts, len(pairs))
+    return {int(u): pairs[lo:hi, 1]
+            for u, lo, hi in zip(users, bounds[:-1], bounds[1:])}
+
+
+def ratio_split(pairs, num_users: int, num_items: int,
+                test_fraction: float = 0.2, rng=None,
+                name: str = "custom") -> InteractionDataset:
+    """Per-user random holdout of ``test_fraction`` of interactions.
+
+    Users with a single interaction keep it in training (they cannot be
+    evaluated anyway).
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must lie in (0, 1)")
+    pairs = np.asarray(pairs, dtype=np.int64)
+    rng = ensure_rng(rng)
+    train_rows, test_rows = [], []
+    for user, items in _group_by_user(pairs).items():
+        items = items.copy()
+        rng.shuffle(items)
+        if len(items) < 2:
+            train_rows.extend((user, i) for i in items)
+            continue
+        n_test = max(1, int(round(test_fraction * len(items))))
+        n_test = min(n_test, len(items) - 1)  # keep >=1 training item
+        test_rows.extend((user, i) for i in items[:n_test])
+        train_rows.extend((user, i) for i in items[n_test:])
+    return InteractionDataset(
+        num_users, num_items,
+        np.asarray(train_rows, dtype=np.int64),
+        np.asarray(test_rows, dtype=np.int64), name=name)
+
+
+def leave_one_out_split(pairs, num_users: int, num_items: int, rng=None,
+                        name: str = "custom-loo") -> InteractionDataset:
+    """Hold out exactly one random interaction per user (>= 2 needed)."""
+    pairs = np.asarray(pairs, dtype=np.int64)
+    rng = ensure_rng(rng)
+    train_rows, test_rows = [], []
+    for user, items in _group_by_user(pairs).items():
+        items = items.copy()
+        rng.shuffle(items)
+        if len(items) < 2:
+            train_rows.extend((user, i) for i in items)
+            continue
+        test_rows.append((user, items[0]))
+        train_rows.extend((user, i) for i in items[1:])
+    return InteractionDataset(
+        num_users, num_items,
+        np.asarray(train_rows, dtype=np.int64),
+        np.asarray(test_rows, dtype=np.int64), name=name)
+
+
+def validation_split(dataset: InteractionDataset,
+                     fraction: float = 0.1, rng=None
+                     ) -> tuple[InteractionDataset, InteractionDataset]:
+    """Carve a validation set out of a dataset's *training* interactions.
+
+    Returns ``(fit_dataset, val_dataset)``:
+
+    * ``fit_dataset`` — same test split, training interactions minus the
+      held-out validation positives (what the model trains on);
+    * ``val_dataset`` — same reduced training set, with the held-out
+      positives as its test split (what early stopping watches).
+
+    This mirrors the standard protocol: tune/early-stop on validation,
+    report on the untouched test split.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must lie in (0, 1)")
+    rng = ensure_rng(rng)
+    fit_rows, val_rows = [], []
+    for user in range(dataset.num_users):
+        items = dataset.train_items_by_user[user].copy()
+        if len(items) < 2:
+            fit_rows.extend((user, i) for i in items)
+            continue
+        rng.shuffle(items)
+        n_val = max(1, int(round(fraction * len(items))))
+        n_val = min(n_val, len(items) - 1)
+        val_rows.extend((user, i) for i in items[:n_val])
+        fit_rows.extend((user, i) for i in items[n_val:])
+    fit_pairs = np.asarray(fit_rows, dtype=np.int64)
+    val_pairs = np.asarray(val_rows, dtype=np.int64)
+    fit_dataset = InteractionDataset(
+        dataset.num_users, dataset.num_items, fit_pairs,
+        dataset.test_pairs, name=f"{dataset.name}-fit",
+        item_clusters=dataset.item_clusters)
+    val_dataset = InteractionDataset(
+        dataset.num_users, dataset.num_items, fit_pairs, val_pairs,
+        name=f"{dataset.name}-val", item_clusters=dataset.item_clusters)
+    return fit_dataset, val_dataset

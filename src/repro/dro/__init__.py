@@ -1,0 +1,19 @@
+"""DRO analysis tools: worst-case tilts, robustness radius, Lemma 2."""
+
+from repro.dro.worstcase import (worst_case_weights, kl_divergence,
+                                 tilted_radius, dro_objective,
+                                 dro_objective_exact)
+from repro.dro.radius import (optimal_tau, implied_eta, score_variance,
+                              eta_distribution)
+from repro.dro.taylor import (log_expectation_exp, taylor_approximation,
+                              approximation_error, variance_penalty)
+from repro.dro.variance import (VarianceAblatedSoftmaxLoss,
+                                MeanVarianceSoftmaxLoss)
+
+__all__ = [
+    "worst_case_weights", "kl_divergence", "tilted_radius", "dro_objective",
+    "dro_objective_exact", "optimal_tau", "implied_eta", "score_variance",
+    "eta_distribution", "log_expectation_exp", "taylor_approximation",
+    "approximation_error", "variance_penalty", "VarianceAblatedSoftmaxLoss",
+    "MeanVarianceSoftmaxLoss",
+]

@@ -1,0 +1,81 @@
+"""Ranking metrics: Recall@K, NDCG@K, Precision@K, HitRate@K, MAP@K.
+
+All metrics follow the standard top-K full-ranking protocol the paper
+uses (LightGCN's evaluation convention): for each user, rank all items
+not in the training set and compare the top K against the held-out test
+positives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["recall_at_k", "ndcg_at_k", "precision_at_k", "hit_rate_at_k",
+           "average_precision_at_k", "rank_items"]
+
+
+def rank_items(scores: np.ndarray, k: int) -> np.ndarray:
+    """Top-``k`` item indices per row, highest score first.
+
+    Uses argpartition + argsort for O(n + k log k) per row.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    k = min(k, scores.shape[-1])
+    part = np.argpartition(-scores, k - 1, axis=-1)[..., :k]
+    row_scores = np.take_along_axis(scores, part, axis=-1)
+    order = np.argsort(-row_scores, axis=-1, kind="stable")
+    return np.take_along_axis(part, order, axis=-1)
+
+
+def _hit_matrix(top_items: np.ndarray, relevant: set[int]) -> np.ndarray:
+    return np.fromiter((item in relevant for item in top_items),
+                       dtype=np.float64, count=len(top_items))
+
+
+def recall_at_k(top_items: np.ndarray, relevant) -> float:
+    """|top ∩ relevant| / |relevant| for one user."""
+    relevant = set(int(i) for i in relevant)
+    if not relevant:
+        return 0.0
+    hits = _hit_matrix(top_items, relevant)
+    return float(hits.sum() / len(relevant))
+
+
+def precision_at_k(top_items: np.ndarray, relevant) -> float:
+    relevant = set(int(i) for i in relevant)
+    if not relevant:
+        return 0.0
+    hits = _hit_matrix(top_items, relevant)
+    return float(hits.sum() / len(top_items))
+
+
+def hit_rate_at_k(top_items: np.ndarray, relevant) -> float:
+    relevant = set(int(i) for i in relevant)
+    if not relevant:
+        return 0.0
+    return float(any(int(i) in relevant for i in top_items))
+
+
+def ndcg_at_k(top_items: np.ndarray, relevant) -> float:
+    """Binary-relevance NDCG with the ideal DCG truncated at |relevant|."""
+    relevant = set(int(i) for i in relevant)
+    if not relevant:
+        return 0.0
+    hits = _hit_matrix(top_items, relevant)
+    discounts = 1.0 / np.log2(np.arange(2, len(top_items) + 2))
+    dcg = float((hits * discounts).sum())
+    ideal_hits = min(len(relevant), len(top_items))
+    idcg = float(discounts[:ideal_hits].sum())
+    return dcg / idcg
+
+
+def average_precision_at_k(top_items: np.ndarray, relevant) -> float:
+    relevant = set(int(i) for i in relevant)
+    if not relevant:
+        return 0.0
+    hits = _hit_matrix(top_items, relevant)
+    if hits.sum() == 0:
+        return 0.0
+    precisions = np.cumsum(hits) / np.arange(1, len(hits) + 1)
+    return float((precisions * hits).sum() / min(len(relevant), len(hits)))

@@ -1,0 +1,11 @@
+"""Experiment harness, per-figure presets and report printers."""
+
+from repro.experiments.harness import (ExperimentSpec, ExperimentResult,
+                                       run_experiment, build_components,
+                                       collect_negative_scores)
+from repro.experiments import presets, report
+
+__all__ = [
+    "ExperimentSpec", "ExperimentResult", "run_experiment",
+    "build_components", "collect_negative_scores", "presets", "report",
+]

@@ -1,0 +1,289 @@
+"""Per-figure/table experiment presets.
+
+Each ``*_specs`` function returns the labelled grid of
+:class:`~repro.experiments.harness.ExperimentSpec` cells one bench
+consumes.  Budgets (epochs, #datasets in sweeps) are scaled to keep the
+full bench suite runnable on a laptop; deviations from the paper's
+setup are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentSpec
+
+__all__ = [
+    "ALL_DATASETS", "LOSS_GRID", "tuned_loss_kwargs",
+    "fig1_specs", "table2_specs", "table3_specs", "table4_specs",
+    "fig3_specs", "fig6_specs", "fig7_specs", "fig8_specs", "fig9_specs",
+    "fig12_specs", "fig13_specs",
+]
+
+ALL_DATASETS = ["amazon-small", "yelp2018-small", "gowalla-small",
+                "ml1m-small"]
+
+#: losses compared in Fig. 1 / Table II, with calibrated hyperparameters
+#: (the paper grid-searches per dataset; one good setting suffices for
+#: shape reproduction and keeps the suite fast).
+LOSS_GRID: dict[str, dict] = {
+    "bpr": {},
+    "bce": {"scale": 0.2},
+    "mse": {},
+    "sl": {"tau": 0.4},
+    "bsl": {"tau1": 0.44, "tau2": 0.4},
+}
+
+#: default temperatures used when a bench needs "the tuned SL/BSL".
+#: Calibrated by grid search on the noisy presets (the paper grid-
+#: searches τ per dataset; 0.4 is the cross-dataset optimum here).
+_TUNED_TAU = 0.4
+_EPOCHS_MF = 25
+_EPOCHS_GCN = 18
+_EPOCHS_SSL = 12
+
+
+def tuned_loss_kwargs(loss: str, positive_noise: float = 0.0) -> dict:
+    """Calibrated loss kwargs; BSL widens τ1/τ2 under positive noise.
+
+    Mirrors the paper's observation (Sec. V-D) that the best ratio grows
+    with the positive-noise level: 1.1 on the (already mildly noisy)
+    presets, drifting up as extra noise is injected.
+    """
+    if loss == "sl":
+        return {"tau": _TUNED_TAU}
+    if loss == "bsl":
+        ratio = 1.1 + 0.125 * positive_noise  # 1.1 clean -> 1.15 at 40%
+        return {"tau1": _TUNED_TAU * ratio, "tau2": _TUNED_TAU}
+    return dict(LOSS_GRID.get(loss, {}))
+
+
+def _base_spec(dataset: str, model: str, loss: str, loss_kwargs: dict,
+               **overrides) -> ExperimentSpec:
+    epochs = _EPOCHS_MF
+    if model in ("ngcf", "lightgcn"):
+        epochs = _EPOCHS_GCN
+    if model in ("sgl", "simgcl", "lightgcl"):
+        epochs = _EPOCHS_SSL
+    defaults = dict(dataset=dataset, model=model, loss=loss,
+                    loss_kwargs=dict(loss_kwargs), epochs=epochs,
+                    batch_size=1024, learning_rate=5e-2, n_negatives=128)
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Fig. 1 — SL vs pointwise/pairwise losses on MF and LightGCN
+# ----------------------------------------------------------------------
+def fig1_specs() -> dict[tuple[str, str, str], ExperimentSpec]:
+    """(dataset, model, loss) -> spec for Yelp2018 and Amazon."""
+    specs = {}
+    for dataset in ("yelp2018-small", "amazon-small"):
+        for model in ("mf", "lightgcn"):
+            for loss in ("bpr", "mse", "bce", "sl"):
+                specs[(dataset, model, loss)] = _base_spec(
+                    dataset, model, loss, LOSS_GRID[loss])
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Table II — overall comparison (3 backbones x 5 losses x 4 datasets
+# plus standalone baselines)
+# ----------------------------------------------------------------------
+def table2_specs() -> dict[tuple[str, str], ExperimentSpec]:
+    """(dataset, row_label) -> spec.
+
+    Row labels follow the paper: "MF+BPR", ..., "LGN+BSL" for the
+    loss-swap grid and bare model names for the standalone baselines.
+    """
+    specs = {}
+    backbones = {"MF": "mf", "NGCF": "ngcf", "LGN": "lightgcn"}
+    for dataset in ALL_DATASETS:
+        for label, model in backbones.items():
+            for loss in ("bpr", "bce", "mse", "sl", "bsl"):
+                specs[(dataset, f"{label}+{loss.upper()}")] = _base_spec(
+                    dataset, model, loss, LOSS_GRID[loss])
+        # Standalone baselines with their native objectives.
+        specs[(dataset, "CML")] = _base_spec(
+            dataset, "cml", "hinge", {"margin": 0.5}, learning_rate=1e-2)
+        specs[(dataset, "ENMF")] = _base_spec(dataset, "enmf", "mse", {})
+        specs[(dataset, "SGL")] = _base_spec(dataset, "sgl", "bpr", {})
+        specs[(dataset, "SimGCL")] = _base_spec(dataset, "simgcl", "bpr", {})
+        specs[(dataset, "LightGCL")] = _base_spec(dataset, "lightgcl",
+                                                  "bpr", {})
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Table III — SL/BSL on the SSL SOTA models
+# ----------------------------------------------------------------------
+def table3_specs() -> dict[tuple[str, str, str], ExperimentSpec]:
+    """(dataset, model, variant) -> spec; variant in {base, sl, bsl}."""
+    specs = {}
+    variant_losses = {"base": ("bpr", {}),
+                      "sl": ("sl", {"tau": _TUNED_TAU}),
+                      "bsl": ("bsl", {"tau1": _TUNED_TAU * 1.1,
+                                      "tau2": _TUNED_TAU})}
+    for dataset in ALL_DATASETS:
+        for model in ("sgl", "simgcl", "lightgcl"):
+            for variant, (loss, kwargs) in variant_losses.items():
+                specs[(dataset, model, variant)] = _base_spec(
+                    dataset, model, loss, kwargs)
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Fig. 3 — tau sweep across negative-noise levels (Yelp2018)
+# ----------------------------------------------------------------------
+def fig3_specs(dataset: str = "yelp2018-small"
+               ) -> dict[tuple[float, float], ExperimentSpec]:
+    """(rnoise, tau) -> spec for the robustness/temperature landscape."""
+    taus = [0.2, 0.3, 0.4, 0.6, 0.8]
+    noise_levels = [0.0, 0.5, 1.0, 2.0, 3.0]
+    return {
+        (rnoise, tau): _base_spec(dataset, "mf", "sl", {"tau": tau},
+                                  rnoise=rnoise, epochs=18)
+        for rnoise in noise_levels for tau in taus
+    }
+
+
+# ----------------------------------------------------------------------
+# Fig. 6 — relative NDCG vs positive-noise ratio (all datasets, SL)
+# ----------------------------------------------------------------------
+def fig6_specs() -> dict[tuple[str, float], ExperimentSpec]:
+    ratios = [0.0, 0.1, 0.2, 0.3, 0.4]
+    return {
+        (dataset, ratio): _base_spec(
+            dataset, "mf", "sl", {"tau": _TUNED_TAU},
+            positive_noise=ratio, epochs=18)
+        for dataset in ALL_DATASETS for ratio in ratios
+    }
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 — NDCG at cutoffs {5, 10, 15}
+# ----------------------------------------------------------------------
+def fig7_specs() -> dict[tuple[str, str], ExperimentSpec]:
+    """(dataset, row_label) -> spec, evaluated at ks=(5, 10, 15)."""
+    specs = {}
+    rows = {
+        "SimGCL": ("simgcl", "bpr", {}),
+        "SGL": ("sgl", "bpr", {}),
+        "MF_SL": ("mf", "sl", {"tau": _TUNED_TAU}),
+        "MF_BSL": ("mf", "bsl", {"tau1": _TUNED_TAU * 1.1,
+                                 "tau2": _TUNED_TAU}),
+        "LGN_SL": ("lightgcn", "sl", {"tau": _TUNED_TAU}),
+        "LGN_BSL": ("lightgcn", "bsl", {"tau1": _TUNED_TAU * 1.1,
+                                        "tau2": _TUNED_TAU}),
+    }
+    for dataset in ("yelp2018-small", "ml1m-small"):
+        for label, (model, loss, kwargs) in rows.items():
+            specs[(dataset, label)] = _base_spec(
+                dataset, model, loss, kwargs, eval_ks=(5, 10, 15))
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 — false-negative sampling probability sweep (5 losses)
+# ----------------------------------------------------------------------
+def fig8_specs() -> dict[tuple[str, str, float], list[ExperimentSpec]]:
+    """(dataset, loss, rnoise) -> candidate specs (MF backbone).
+
+    The paper grid-searches hyperparameters per cell ("A grid search is
+    conducted to confirm the optimal parameter setting for each model");
+    SL/BSL in particular need a larger τ at high noise (Corollary
+    III.1), so every cell maps to a small candidate list and the bench
+    keeps the best.
+    """
+    noise_levels = [1.0, 3.0, 5.0, 7.0, 10.0]
+    candidate_kwargs = {
+        "bpr": [{}],
+        "bce": [{"scale": 0.2}, {"scale": 0.5}],
+        "mse": [{}],
+        "sl": [{"tau": 0.4}, {"tau": 1.0}],
+        "bsl": [{"tau1": 0.44, "tau2": 0.4}, {"tau1": 1.0, "tau2": 1.0}],
+    }
+    specs: dict[tuple[str, str, float], list[ExperimentSpec]] = {}
+    for dataset in ("ml1m-small", "yelp2018-small"):
+        for loss, grid in candidate_kwargs.items():
+            for rnoise in noise_levels:
+                specs[(dataset, loss, rnoise)] = [
+                    _base_spec(dataset, "mf", loss, kwargs, rnoise=rnoise,
+                               epochs=18)
+                    for kwargs in grid
+                ]
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 — number of negatives sweep (5 losses)
+# ----------------------------------------------------------------------
+def fig9_specs() -> dict[tuple[str, str, int], ExperimentSpec]:
+    """(dataset, loss, n_negatives) -> spec (MF backbone).
+
+    The paper sweeps {32 .. 2048}; at our catalogue scale (<1k items)
+    {8 .. 512} spans the same regimes (scarce -> saturating).
+    """
+    n_negs = [8, 32, 128, 512]
+    specs = {}
+    for dataset in ("ml1m-small", "yelp2018-small"):
+        for loss, kwargs in LOSS_GRID.items():
+            for n in n_negs:
+                specs[(dataset, loss, n)] = _base_spec(
+                    dataset, "mf", loss, kwargs, n_negatives=n, epochs=18)
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Table IV — SL vs BSL under positive noise
+# ----------------------------------------------------------------------
+def table4_specs() -> dict[tuple[str, float, str], ExperimentSpec]:
+    """(dataset, noise_ratio, loss) -> spec (MF backbone)."""
+    specs = {}
+    for dataset in ALL_DATASETS:
+        for ratio in (0.1, 0.2, 0.3, 0.4):
+            for loss in ("sl", "bsl"):
+                specs[(dataset, ratio, loss)] = _base_spec(
+                    dataset, "mf", loss, tuned_loss_kwargs(loss, ratio),
+                    positive_noise=ratio, epochs=18)
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Fig. 12 — embedding-dimension sweep
+# ----------------------------------------------------------------------
+def fig12_specs() -> dict[tuple[str, str, int], ExperimentSpec]:
+    """(dataset, row_label, dim) -> spec.
+
+    The paper sweeps {128, 256, 512}; we use {32, 64, 128} at our scale.
+    """
+    dims = [32, 64, 128]
+    rows = {
+        "MF_SL": ("mf", "sl", {"tau": _TUNED_TAU}),
+        "MF_BSL": ("mf", "bsl", {"tau1": _TUNED_TAU * 1.1,
+                                 "tau2": _TUNED_TAU}),
+        "LGN_SL": ("lightgcn", "sl", {"tau": _TUNED_TAU}),
+        "SimGCL": ("simgcl", "bpr", {}),
+    }
+    specs = {}
+    for dataset in ("yelp2018-small", "ml1m-small"):
+        for label, (model, loss, kwargs) in rows.items():
+            for dim in dims:
+                specs[(dataset, label, dim)] = _base_spec(
+                    dataset, model, loss, kwargs, dim=dim)
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Fig. 13 — tau1/tau2 ratio sweep
+# ----------------------------------------------------------------------
+def fig13_specs() -> dict[tuple[str, str, float], ExperimentSpec]:
+    """(dataset, model, ratio) -> spec; ratio multiplies τ1 only."""
+    ratios = [0.5, 0.8, 1.0, 1.2, 1.4, 2.0]
+    specs = {}
+    for dataset in ("yelp2018-small", "ml1m-small"):
+        for model in ("mf", "lightgcn"):
+            for ratio in ratios:
+                specs[(dataset, model, ratio)] = _base_spec(
+                    dataset, model, "bsl",
+                    {"tau1": _TUNED_TAU * ratio, "tau2": _TUNED_TAU},
+                    epochs=18)
+    return specs

@@ -1,0 +1,56 @@
+"""ASCII reporting helpers: tables and series matching the paper rows.
+
+Benches print their reproduction next to the paper's reference numbers
+so EXPERIMENTS.md can be filled by reading bench output.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "print_table", "print_series", "print_header",
+           "relative_gain"]
+
+
+def format_table(headers: list[str], rows: list[list], precision: int = 4
+                 ) -> str:
+    """Render a fixed-width ASCII table."""
+    rendered = [[_fmt(cell, precision) for cell in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in rendered)) if rendered else len(h)
+              for i, h in enumerate(headers)]
+    def line(cells):
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [line(headers), sep]
+    out.extend(line(r) for r in rendered)
+    return "\n".join(out)
+
+
+def _fmt(cell, precision: int) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.{precision}f}"
+    return str(cell)
+
+
+def print_table(title: str, headers: list[str], rows: list[list],
+                precision: int = 4) -> None:
+    print_header(title)
+    print(format_table(headers, rows, precision))
+    print()
+
+
+def print_series(name: str, xs, ys, precision: int = 4) -> None:
+    """Print one figure series as aligned x/y pairs."""
+    pairs = "  ".join(
+        f"({_fmt(x, precision)}, {_fmt(y, precision)})" for x, y in zip(xs, ys))
+    print(f"{name}: {pairs}")
+
+
+def print_header(title: str) -> None:
+    bar = "=" * max(8, len(title))
+    print(f"\n{bar}\n{title}\n{bar}")
+
+
+def relative_gain(new: float, base: float) -> float:
+    """Percentage improvement of ``new`` over ``base``."""
+    if base == 0:
+        return float("inf") if new > 0 else 0.0
+    return 100.0 * (new - base) / base

@@ -1,0 +1,11 @@
+"""Graph substrate: adjacency building, sparse propagation, perturbation."""
+
+from repro.graph.adjacency import (bipartite_adjacency, normalize_adjacency,
+                                   adjacency_from_pairs)
+from repro.graph.propagation import spmm
+from repro.graph.perturb import edge_dropout_adjacency, svd_view
+
+__all__ = [
+    "bipartite_adjacency", "normalize_adjacency", "adjacency_from_pairs",
+    "spmm", "edge_dropout_adjacency", "svd_view",
+]

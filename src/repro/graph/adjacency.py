@@ -1,0 +1,45 @@
+"""Normalized bipartite adjacency construction (LightGCN/NGCF substrate).
+
+The GCN backbones propagate embeddings over the user-item bipartite
+graph ``A = [[0, R], [R^T, 0]]`` using the symmetric normalization
+``Ã = D^{-1/2} A D^{-1/2}`` introduced by NGCF/LightGCN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.data.dataset import InteractionDataset
+
+__all__ = ["bipartite_adjacency", "normalize_adjacency",
+           "adjacency_from_pairs"]
+
+
+def adjacency_from_pairs(pairs: np.ndarray, num_users: int,
+                         num_items: int) -> sp.csr_matrix:
+    """Build the (users+items) x (users+items) bipartite adjacency."""
+    n = num_users + num_items
+    rows = np.concatenate([pairs[:, 0], pairs[:, 1] + num_users])
+    cols = np.concatenate([pairs[:, 1] + num_users, pairs[:, 0]])
+    data = np.ones(len(rows), dtype=np.float64)
+    adj = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+    adj.data[:] = 1.0  # collapse duplicate interactions
+    return adj
+
+
+def normalize_adjacency(adj: sp.csr_matrix) -> sp.csr_matrix:
+    """Symmetric normalization ``D^{-1/2} A D^{-1/2}`` (zero-degree safe)."""
+    degree = np.asarray(adj.sum(axis=1)).ravel()
+    with np.errstate(divide="ignore"):
+        inv_sqrt = np.power(degree, -0.5)
+    inv_sqrt[~np.isfinite(inv_sqrt)] = 0.0
+    d = sp.diags(inv_sqrt)
+    return (d @ adj @ d).tocsr()
+
+
+def bipartite_adjacency(dataset: InteractionDataset) -> sp.csr_matrix:
+    """Normalized bipartite adjacency of a dataset's training graph."""
+    adj = adjacency_from_pairs(dataset.train_pairs, dataset.num_users,
+                               dataset.num_items)
+    return normalize_adjacency(adj)

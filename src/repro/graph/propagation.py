@@ -1,0 +1,38 @@
+"""Differentiable sparse propagation.
+
+GCN layers multiply a constant sparse adjacency by the dense embedding
+tensor; the vector-Jacobian product is simply the transposed adjacency
+applied to the upstream gradient.  Registered here as a custom autograd
+op so propagation composes with the rest of the graph.
+"""
+
+from __future__ import annotations
+
+import scipy.sparse as sp
+
+from repro.tensor import Tensor, as_tensor, ops
+
+__all__ = ["spmm"]
+
+
+def spmm(matrix: sp.spmatrix, x) -> Tensor:
+    """Sparse-dense product ``matrix @ x`` with gradient ``matrix.T @ g``.
+
+    Parameters
+    ----------
+    matrix:
+        A constant scipy sparse matrix (no gradient flows into it).
+    x:
+        A dense :class:`Tensor` of shape ``(matrix.shape[1], d)``.
+    """
+    x = as_tensor(x)
+    if matrix.shape[1] != x.shape[0]:
+        raise ValueError(f"shape mismatch: {matrix.shape} @ {x.shape}")
+    csr = matrix.tocsr()
+    data = csr @ x.data
+    transposed = csr.T.tocsr()
+
+    def backward(g):
+        return (transposed @ g,)
+
+    return ops._node(data, (x,), backward)

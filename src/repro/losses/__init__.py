@@ -1,0 +1,16 @@
+"""Loss functions: pointwise, pairwise, softmax (SL), bilateral (BSL)."""
+
+from repro.losses.base import Loss
+from repro.losses.pointwise import BCELoss, MSELoss
+from repro.losses.pairwise import BPRLoss, MarginHingeLoss
+from repro.losses.softmax import SoftmaxLoss
+from repro.losses.bsl import BSLLoss
+from repro.losses.contrastive import InfoNCELoss, CosineContrastiveLoss
+from repro.losses.registry import get_loss, loss_names, LOSSES
+
+__all__ = [
+    "Loss", "BCELoss", "MSELoss", "BPRLoss", "MarginHingeLoss",
+    "SoftmaxLoss", "BSLLoss",
+    "InfoNCELoss", "CosineContrastiveLoss", "get_loss", "loss_names",
+    "LOSSES",
+]

@@ -1,0 +1,54 @@
+"""Pairwise loss: BPR (paper Eq. 3).
+
+Bayesian Personalized Ranking pushes each positive above each sampled
+negative through a log-sigmoid of the score difference.
+"""
+
+from __future__ import annotations
+
+from repro.losses.base import Loss
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+__all__ = ["BPRLoss", "MarginHingeLoss"]
+
+
+class BPRLoss(Loss):
+    """``L = -E_{i,j}[log σ((f(u,i) - f(u,j)) / s)]``.
+
+    Parameters
+    ----------
+    scale:
+        Optional score scale (cosine scores are bounded in [-1, 1]; a
+        scale < 1 sharpens the sigmoid, matching tuned implementations).
+    """
+
+    name = "bpr"
+
+    def __init__(self, scale: float = 1.0):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+
+    def compute(self, pos: Tensor, neg: Tensor) -> Tensor:
+        diff = (pos.unsqueeze(1) - neg) / self.scale
+        return (-F.log_sigmoid(diff)).mean()
+
+
+class MarginHingeLoss(Loss):
+    """CML's margin hinge: ``E_{i,j}[ relu(margin - (f(u,i) - f(u,j))) ]``.
+
+    With CML's negative-squared-distance scores this is exactly the
+    metric-learning triplet loss of Hsieh et al. (WWW 2017).
+    """
+
+    name = "hinge"
+
+    def __init__(self, margin: float = 0.5):
+        if margin <= 0:
+            raise ValueError("margin must be positive")
+        self.margin = margin
+
+    def compute(self, pos: Tensor, neg: Tensor) -> Tensor:
+        diff = pos.unsqueeze(1) - neg
+        return F.relu(self.margin - diff).mean()

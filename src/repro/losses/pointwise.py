@@ -1,0 +1,67 @@
+"""Pointwise losses: BCE and MSE (paper Eqs. 1-2).
+
+Pointwise losses treat recommendation as per-instance classification or
+regression: positives are pushed toward label 1 and negatives toward 0,
+with a balance coefficient ``c`` between the two sides.
+"""
+
+from __future__ import annotations
+
+from repro.losses.base import Loss
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+__all__ = ["BCELoss", "MSELoss"]
+
+
+class BCELoss(Loss):
+    """Binary cross-entropy on implicit feedback.
+
+    ``L = -E_i[log σ(f(u,i))] + c · E_j[-log(1 - σ(f(u,j)))]``
+
+    Implemented through ``softplus`` for numerical stability:
+    ``-log σ(x) = softplus(-x)`` and ``-log(1 - σ(x)) = softplus(x)``.
+
+    Parameters
+    ----------
+    negative_weight:
+        The coefficient ``c`` of Eq. (1) balancing the negative side.
+    scale:
+        Score scale applied before the logistic link.  Cosine scores live
+        in [-1, 1], which saturates slowly; the paper's implementations
+        divide by a temperature-like scale for pointwise losses too.
+    """
+
+    name = "bce"
+
+    def __init__(self, negative_weight: float = 1.0, scale: float = 1.0):
+        if negative_weight <= 0:
+            raise ValueError("negative_weight must be positive")
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.negative_weight = negative_weight
+        self.scale = scale
+
+    def compute(self, pos: Tensor, neg: Tensor) -> Tensor:
+        pos_term = F.softplus(-pos / self.scale).mean()
+        neg_term = F.softplus(neg / self.scale).mean()
+        return pos_term + self.negative_weight * neg_term
+
+
+class MSELoss(Loss):
+    """Squared error against binary labels.
+
+    ``L = E_i[(f(u,i) - 1)^2] + c · E_j[f(u,j)^2]``
+    """
+
+    name = "mse"
+
+    def __init__(self, negative_weight: float = 1.0):
+        if negative_weight <= 0:
+            raise ValueError("negative_weight must be positive")
+        self.negative_weight = negative_weight
+
+    def compute(self, pos: Tensor, neg: Tensor) -> Tensor:
+        pos_term = ((pos - 1.0) ** 2).mean()
+        neg_term = (neg ** 2).mean()
+        return pos_term + self.negative_weight * neg_term

@@ -1,0 +1,38 @@
+"""Loss registry: build losses by name, as the experiment specs do."""
+
+from __future__ import annotations
+
+from repro.losses.base import Loss
+from repro.losses.bsl import BSLLoss
+from repro.losses.contrastive import CosineContrastiveLoss
+from repro.losses.pairwise import BPRLoss, MarginHingeLoss
+from repro.losses.pointwise import BCELoss, MSELoss
+from repro.losses.softmax import SoftmaxLoss
+
+__all__ = ["LOSSES", "get_loss", "loss_names"]
+
+LOSSES: dict[str, type] = {
+    "bpr": BPRLoss,
+    "bce": BCELoss,
+    "mse": MSELoss,
+    "sl": SoftmaxLoss,
+    "bsl": BSLLoss,
+    "ccl": CosineContrastiveLoss,
+    "hinge": MarginHingeLoss,
+}
+
+
+def loss_names() -> list[str]:
+    return sorted(LOSSES)
+
+
+def get_loss(name: str, **kwargs) -> Loss:
+    """Instantiate a loss by registry name with its keyword arguments.
+
+    >>> get_loss("bsl", tau1=0.12, tau2=0.10).ratio
+    1.2
+    """
+    key = name.lower()
+    if key not in LOSSES:
+        raise KeyError(f"unknown loss {name!r}; available: {loss_names()}")
+    return LOSSES[key](**kwargs)

@@ -1,0 +1,24 @@
+"""Recommendation backbones: MF, NGCF, LightGCN, SGL, SimGCL, LightGCL, ..."""
+
+from repro.models.base import Recommender
+from repro.models.mf import MF
+from repro.models.cml import CML
+from repro.models.enmf import ENMF
+from repro.models.ngcf import NGCF
+from repro.models.lightgcn import LightGCN
+from repro.models.sgl import SGL
+from repro.models.simgcl import SimGCL
+from repro.models.lightgcl import LightGCL
+from repro.models.lrgccf import LRGCCF
+from repro.models.niagcn import NIAGCN
+from repro.models.ultragcn import UltraGCN
+from repro.models.simplex import SimpleX
+from repro.models.ncl import NCL
+from repro.models.dgcf import DGCF
+from repro.models.registry import get_model, model_names, MODELS
+
+__all__ = [
+    "Recommender", "MF", "CML", "ENMF", "NGCF", "LightGCN", "SGL",
+    "SimGCL", "LightGCL", "LRGCCF", "NIAGCN", "UltraGCN", "SimpleX",
+    "NCL", "DGCF", "get_model", "model_names", "MODELS",
+]

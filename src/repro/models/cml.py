@@ -1,0 +1,50 @@
+"""Collaborative Metric Learning baseline (Hsieh et al., WWW 2017).
+
+CML embeds users and items in a shared metric space: the score is the
+negative squared Euclidean distance, trained with a margin hinge loss
+(:class:`repro.losses.pairwise.MarginHingeLoss`) and a unit-ball norm
+projection after every optimizer step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import Recommender
+from repro.nn.embedding import Embedding
+from repro.tensor import Tensor
+from repro.tensor.random import spawn_rngs
+
+__all__ = ["CML"]
+
+
+class CML(Recommender):
+    """Metric-learning recommender (Table II baseline).
+
+    Parameters
+    ----------
+    max_norm:
+        Radius of the ball embeddings are projected onto after each
+        optimizer step (CML's regularization).
+    """
+
+    def __init__(self, num_users: int, num_items: int, dim: int = 64,
+                 max_norm: float = 1.0, rng=None):
+        super().__init__(num_users, num_items, dim,
+                         train_scoring="euclidean", test_scoring="euclidean")
+        if max_norm <= 0:
+            raise ValueError("max_norm must be positive")
+        self.max_norm = max_norm
+        user_rng, item_rng = spawn_rngs(rng, 2)
+        self.user_embedding = Embedding(num_users, dim, rng=user_rng)
+        self.item_embedding = Embedding(num_items, dim, rng=item_rng)
+
+    def propagate(self) -> tuple[Tensor, Tensor]:
+        return self.user_embedding.all(), self.item_embedding.all()
+
+    def post_step(self) -> None:
+        """Project all embeddings back into the max-norm ball."""
+        for table in (self.user_embedding.weight, self.item_embedding.weight):
+            norms = np.linalg.norm(table.data, axis=1, keepdims=True)
+            scale = np.minimum(1.0, self.max_norm / np.maximum(norms, 1e-12))
+            table.data *= scale

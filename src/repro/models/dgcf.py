@@ -1,0 +1,129 @@
+"""DGCF backbone (Wang et al., SIGIR 2020), simplified.
+
+Disentangled Graph Collaborative Filtering splits each embedding into
+``K`` intent chunks and learns per-edge, per-intent routing weights so
+different intents propagate over differently-weighted graphs.  We keep
+the disentangling core but replace the iterative routing with a single
+learned per-intent edge-affinity pass:
+
+* embeddings are chunked into K intents;
+* per intent, edge weights are the softmax (over intents) of the
+  affinity between the chunk embeddings of the edge's endpoints,
+  recomputed from the current embeddings each forward pass;
+* each intent chunk propagates over its own re-weighted normalized
+  adjacency; chunks are concatenated back.
+
+This preserves DGCF's signature behaviour — intents specialize because
+edges route to the intents whose chunks agree — in a compact form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.data.dataset import InteractionDataset
+from repro.graph.propagation import spmm
+from repro.models.base import Recommender
+from repro.nn.embedding import Embedding
+from repro.tensor import Tensor, no_grad, ops
+from repro.tensor.random import spawn_rngs
+
+__all__ = ["DGCF"]
+
+
+class DGCF(Recommender):
+    """Intent-disentangled propagation with affinity-based edge routing.
+
+    Parameters
+    ----------
+    num_intents:
+        Number of intent chunks ``K`` (must divide ``dim``).
+    num_layers:
+        Propagation depth per intent.
+    """
+
+    def __init__(self, dataset: InteractionDataset, dim: int = 64,
+                 num_intents: int = 4, num_layers: int = 1, rng=None):
+        super().__init__(dataset.num_users, dataset.num_items, dim,
+                         train_scoring="cosine", test_scoring="inner")
+        if dim % num_intents != 0:
+            raise ValueError(f"dim ({dim}) must be divisible by "
+                             f"num_intents ({num_intents})")
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.num_intents = num_intents
+        self.num_layers = num_layers
+        self.chunk = dim // num_intents
+        user_rng, item_rng = spawn_rngs(rng, 2)
+        self.user_embedding = Embedding(dataset.num_users, dim, rng=user_rng)
+        self.item_embedding = Embedding(dataset.num_items, dim, rng=item_rng)
+        pairs = dataset.train_pairs
+        self._rows = pairs[:, 0]
+        self._cols = pairs[:, 1] + dataset.num_users
+        self._n = dataset.num_users + dataset.num_items
+
+    def _intent_adjacencies(self, ego: np.ndarray) -> list[sp.csr_matrix]:
+        """Per-intent normalized adjacency from chunk affinities.
+
+        Routing weights are treated as constants w.r.t. the autograd
+        graph (a detached routing pass), matching DGCF's practice of
+        truncating gradients through the iterative routing.
+        """
+        k, c = self.num_intents, self.chunk
+        chunks = ego.reshape(self._n, k, c)
+        src = chunks[self._rows]                  # (E, K, c)
+        dst = chunks[self._cols]
+        affinity = np.einsum("ekc,ekc->ek", src, dst)  # (E, K)
+        affinity = affinity - affinity.max(axis=1, keepdims=True)
+        routing = np.exp(affinity)
+        routing /= routing.sum(axis=1, keepdims=True)
+
+        adjacencies = []
+        for intent in range(k):
+            w = routing[:, intent]
+            data = np.concatenate([w, w])
+            rows = np.concatenate([self._rows, self._cols])
+            cols = np.concatenate([self._cols, self._rows])
+            adj = sp.csr_matrix((data, (rows, cols)),
+                                shape=(self._n, self._n))
+            degree = np.asarray(adj.sum(axis=1)).ravel()
+            with np.errstate(divide="ignore"):
+                inv = np.power(degree, -0.5)
+            inv[~np.isfinite(inv)] = 0.0
+            d = sp.diags(inv)
+            adjacencies.append((d @ adj @ d).tocsr())
+        return adjacencies
+
+    def propagate(self) -> tuple[Tensor, Tensor]:
+        ego = ops.concatenate(
+            [self.user_embedding.all(), self.item_embedding.all()], axis=0)
+        adjacencies = self._intent_adjacencies(ego.data)
+        intent_outputs = []
+        for intent, adj in enumerate(adjacencies):
+            lo, hi = intent * self.chunk, (intent + 1) * self.chunk
+            chunk = ego[:, lo:hi]
+            layers = [chunk]
+            current = chunk
+            for _ in range(self.num_layers):
+                current = spmm(adj, current)
+                layers.append(current)
+            intent_outputs.append(ops.stack(layers, axis=0).mean(axis=0))
+        final = ops.concatenate(intent_outputs, axis=1)
+        return final[: self.num_users], final[self.num_users:]
+
+    def intent_routing_entropy(self) -> float:
+        """Mean routing entropy over edges (diagnostic: lower = more
+        disentangled).  Uses the current embeddings, no grad."""
+        with no_grad():
+            users_t = self.user_embedding.all()
+            items_t = self.item_embedding.all()
+            ego = np.concatenate([users_t.data, items_t.data], axis=0)
+        chunks = ego.reshape(self._n, self.num_intents, self.chunk)
+        affinity = np.einsum("ekc,ekc->ek", chunks[self._rows],
+                             chunks[self._cols])
+        affinity -= affinity.max(axis=1, keepdims=True)
+        routing = np.exp(affinity)
+        routing /= routing.sum(axis=1, keepdims=True)
+        entropy = -(routing * np.log(routing + 1e-12)).sum(axis=1)
+        return float(entropy.mean())

@@ -1,0 +1,66 @@
+"""LightGCL backbone (Cai et al., ICLR 2023).
+
+Replaces stochastic graph augmentation with a *global* low-rank view:
+embeddings are propagated through an SVD reconstruction of the
+interaction matrix and contrasted against the local LightGCN view.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+from repro.data.sampling import TrainingBatch
+from repro.graph.perturb import svd_view
+from repro.losses.contrastive import InfoNCELoss
+from repro.models.lightgcn import LightGCN
+from repro.tensor import Tensor, ops
+
+__all__ = ["LightGCL"]
+
+
+class LightGCL(LightGCN):
+    """LightGCN with an SVD-view contrastive auxiliary task.
+
+    Parameters
+    ----------
+    svd_rank:
+        Rank of the SVD view (the paper uses small ranks, e.g. 5).
+    ssl_weight, ssl_tau:
+        InfoNCE branch coefficient and temperature.
+    """
+
+    def __init__(self, dataset: InteractionDataset, dim: int = 64,
+                 num_layers: int = 2, svd_rank: int = 8,
+                 ssl_weight: float = 0.1, ssl_tau: float = 0.2, rng=None):
+        super().__init__(dataset, dim=dim, num_layers=num_layers, rng=rng)
+        self.ssl_weight = ssl_weight
+        self._infonce = InfoNCELoss(tau=ssl_tau)
+        # The SVD factors are fixed model-lifetime constants.
+        self._svd_u, self._svd_v = svd_view(dataset, rank=svd_rank)
+
+    def _svd_propagate(self) -> tuple[Tensor, Tensor]:
+        """Propagate embeddings through the low-rank reconstruction.
+
+        User view: ``U_s (V_s^T E_item)``; item view: ``V_s (U_s^T E_user)``.
+        """
+        user_table = self.user_embedding.all()
+        item_table = self.item_embedding.all()
+        svd_u = Tensor(self._svd_u)
+        svd_v = Tensor(self._svd_v)
+        users = ops.matmul(svd_u, ops.matmul(svd_v.T, item_table))
+        items = ops.matmul(svd_v, ops.matmul(svd_u.T, user_table))
+        return users, items
+
+    def auxiliary_loss(self, batch: TrainingBatch) -> Tensor | None:
+        if self.ssl_weight == 0:
+            return None
+        u_main, i_main = self.propagate()
+        u_svd, i_svd = self._svd_propagate()
+        users = np.unique(batch.users)
+        items = np.unique(batch.positives)
+        user_ssl = self._infonce(ops.take_rows(u_main, users),
+                                 ops.take_rows(u_svd, users))
+        item_ssl = self._infonce(ops.take_rows(i_main, items),
+                                 ops.take_rows(i_svd, items))
+        return self.ssl_weight * (user_ssl + item_ssl)

@@ -1,0 +1,75 @@
+"""LightGCN backbone (He et al., SIGIR 2020).
+
+Linear propagation over the normalized bipartite graph with a mean of
+all layer outputs:
+
+``E^(l+1) = Ã E^(l)``, ``E = mean(E^(0) ... E^(L))``.
+"""
+
+from __future__ import annotations
+
+import scipy.sparse as sp
+
+from repro.data.dataset import InteractionDataset
+from repro.graph.adjacency import bipartite_adjacency
+from repro.graph.propagation import spmm
+from repro.models.base import Recommender
+from repro.nn.embedding import Embedding
+from repro.tensor import Tensor, ops
+from repro.tensor.random import spawn_rngs
+
+__all__ = ["LightGCN"]
+
+
+class LightGCN(Recommender):
+    """Simplified GCN: no transforms, no nonlinearity, layer averaging.
+
+    Parameters
+    ----------
+    dataset:
+        Training interactions; the propagation graph is built from its
+        train split.
+    num_layers:
+        Propagation depth ``L`` (the paper tunes {1, 2, 3}).
+    """
+
+    def __init__(self, dataset: InteractionDataset, dim: int = 64,
+                 num_layers: int = 2, rng=None):
+        super().__init__(dataset.num_users, dataset.num_items, dim,
+                         train_scoring="cosine", test_scoring="inner")
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+        self.num_layers = num_layers
+        user_rng, item_rng = spawn_rngs(rng, 2)
+        self.user_embedding = Embedding(dataset.num_users, dim, rng=user_rng)
+        self.item_embedding = Embedding(dataset.num_items, dim, rng=item_rng)
+        self._adjacency: sp.csr_matrix = bipartite_adjacency(dataset)
+
+    # The adjacency is exposed so subclasses (SGL/SimGCL/LightGCL) can
+    # propagate alternative views through the same machinery.
+    @property
+    def adjacency(self) -> sp.csr_matrix:
+        return self._adjacency
+
+    def propagate(self) -> tuple[Tensor, Tensor]:
+        return self._propagate_on(self._adjacency)
+
+    def _propagate_on(self, adjacency: sp.csr_matrix,
+                      noise_fn=None) -> tuple[Tensor, Tensor]:
+        """Run L propagation steps on a given adjacency.
+
+        ``noise_fn(layer_tensor) -> Tensor`` optionally perturbs each
+        layer output (SimGCL's augmentation).
+        """
+        ego = ops.concatenate(
+            [self.user_embedding.all(), self.item_embedding.all()], axis=0)
+        layers = [ego]
+        current = ego
+        for _ in range(self.num_layers):
+            current = spmm(adjacency, current)
+            if noise_fn is not None:
+                current = noise_fn(current)
+            layers.append(current)
+        stacked = ops.stack(layers, axis=0)
+        final = stacked.mean(axis=0)
+        return final[: self.num_users], final[self.num_users:]

@@ -1,0 +1,38 @@
+"""Matrix Factorization backbone (Koren et al., 2009).
+
+The simplest backbone of the paper: the final embeddings *are* the ID
+embedding tables.  Per Appendix Table V, MF trains and tests with cosine
+similarity and uses sampled negatives.
+"""
+
+from __future__ import annotations
+
+from repro.models.base import Recommender
+from repro.nn.embedding import Embedding
+from repro.tensor import Tensor
+from repro.tensor.random import spawn_rngs
+
+__all__ = ["MF"]
+
+
+class MF(Recommender):
+    """ID-embedding matrix factorization.
+
+    Parameters
+    ----------
+    num_users, num_items, dim:
+        See :class:`~repro.models.base.Recommender`.
+    rng:
+        Seed or generator for Xavier initialization.
+    """
+
+    def __init__(self, num_users: int, num_items: int, dim: int = 64,
+                 rng=None):
+        super().__init__(num_users, num_items, dim,
+                         train_scoring="cosine", test_scoring="cosine")
+        user_rng, item_rng = spawn_rngs(rng, 2)
+        self.user_embedding = Embedding(num_users, dim, rng=user_rng)
+        self.item_embedding = Embedding(num_items, dim, rng=item_rng)
+
+    def propagate(self) -> tuple[Tensor, Tensor]:
+        return self.user_embedding.all(), self.item_embedding.all()

@@ -1,0 +1,72 @@
+"""NGCF backbone (Wang et al., SIGIR 2019).
+
+Each propagation layer applies two learned transforms — one on the
+aggregated neighbourhood, one on the element-wise neighbourhood-ego
+interaction — followed by LeakyReLU and message dropout; the final
+representation concatenates all layer outputs:
+
+``E^(l+1) = LeakyReLU( (Ã + I) E^(l) W1 + (Ã E^(l)) ⊙ E^(l) W2 )``
+"""
+
+from __future__ import annotations
+
+import scipy.sparse as sp
+
+from repro.data.dataset import InteractionDataset
+from repro.graph.adjacency import bipartite_adjacency
+from repro.graph.propagation import spmm
+from repro.models.base import Recommender
+from repro.nn.dropout import Dropout
+from repro.nn.embedding import Embedding
+from repro.nn.linear import Linear
+from repro.tensor import Tensor, ops
+from repro.tensor import functional as F
+from repro.tensor.random import spawn_rngs
+
+__all__ = ["NGCF"]
+
+
+class NGCF(Recommender):
+    """Neural Graph Collaborative Filtering.
+
+    Parameters
+    ----------
+    num_layers:
+        Propagation depth (the paper tunes {1, 2, 3}).
+    message_dropout:
+        Dropout applied to each layer output during training.
+    """
+
+    def __init__(self, dataset: InteractionDataset, dim: int = 64,
+                 num_layers: int = 2, message_dropout: float = 0.1,
+                 rng=None):
+        super().__init__(dataset.num_users, dataset.num_items, dim,
+                         train_scoring="cosine", test_scoring="inner")
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+        self.num_layers = num_layers
+        rngs = spawn_rngs(rng, 2 + 2 * num_layers + 1)
+        self.user_embedding = Embedding(dataset.num_users, dim, rng=rngs[0])
+        self.item_embedding = Embedding(dataset.num_items, dim, rng=rngs[1])
+        self.w1_layers = [Linear(dim, dim, rng=rngs[2 + 2 * l])
+                          for l in range(num_layers)]
+        self.w2_layers = [Linear(dim, dim, rng=rngs[3 + 2 * l])
+                          for l in range(num_layers)]
+        self.dropout = Dropout(message_dropout, rng=rngs[-1])
+        self._adjacency: sp.csr_matrix = bipartite_adjacency(dataset)
+
+    def propagate(self) -> tuple[Tensor, Tensor]:
+        ego = ops.concatenate(
+            [self.user_embedding.all(), self.item_embedding.all()], axis=0)
+        layers = [ego]
+        current = ego
+        for w1, w2 in zip(self.w1_layers, self.w2_layers):
+            side = spmm(self._adjacency, current)
+            # (Ã + I) E W1  +  (Ã E ⊙ E) W2
+            transformed = w1(side + current) + w2(side * current)
+            current = F.leaky_relu(transformed, negative_slope=0.2)
+            current = self.dropout(current)
+            # NGCF L2-normalizes each layer's output embedding.
+            layers.append(F.l2_normalize(current, axis=1))
+        final = ops.concatenate(layers, axis=1)
+        return final[: self.num_users], final[self.num_users:]

@@ -1,0 +1,67 @@
+"""Model registry: build backbones by name.
+
+GCN-family models need the dataset (to build their propagation graph);
+MF/CML need only the entity counts.  :func:`get_model` normalizes this.
+"""
+
+from __future__ import annotations
+
+from repro.data.dataset import InteractionDataset
+from repro.models.base import Recommender
+from repro.models.cml import CML
+from repro.models.dgcf import DGCF
+from repro.models.enmf import ENMF
+from repro.models.lightgcl import LightGCL
+from repro.models.lightgcn import LightGCN
+from repro.models.lrgccf import LRGCCF
+from repro.models.mf import MF
+from repro.models.ncl import NCL
+from repro.models.ngcf import NGCF
+from repro.models.niagcn import NIAGCN
+from repro.models.sgl import SGL
+from repro.models.simgcl import SimGCL
+from repro.models.simplex import SimpleX
+from repro.models.ultragcn import UltraGCN
+
+__all__ = ["MODELS", "get_model", "model_names"]
+
+MODELS: dict[str, type] = {
+    "mf": MF,
+    "cml": CML,
+    "enmf": ENMF,
+    "ngcf": NGCF,
+    "lightgcn": LightGCN,
+    "sgl": SGL,
+    "simgcl": SimGCL,
+    "lightgcl": LightGCL,
+    "lr-gccf": LRGCCF,
+    "nia-gcn": NIAGCN,
+    "ultragcn": UltraGCN,
+    "simplex": SimpleX,
+    "ncl": NCL,
+    "dgcf": DGCF,
+}
+
+_GRAPH_MODELS = {"ngcf", "lightgcn", "sgl", "simgcl", "lightgcl", "enmf",
+                 "lr-gccf", "nia-gcn", "ultragcn", "simplex", "ncl",
+                 "dgcf"}
+
+
+def model_names() -> list[str]:
+    return sorted(MODELS)
+
+
+def get_model(name: str, dataset: InteractionDataset, dim: int = 64,
+              rng=None, **kwargs) -> Recommender:
+    """Instantiate a backbone by name against a dataset.
+
+    >>> model = get_model("lightgcn", dataset, dim=32, num_layers=2)
+    """
+    key = name.lower()
+    if key not in MODELS:
+        raise KeyError(f"unknown model {name!r}; available: {model_names()}")
+    cls = MODELS[key]
+    if key in _GRAPH_MODELS:
+        return cls(dataset, dim=dim, rng=rng, **kwargs)
+    return cls(dataset.num_users, dataset.num_items, dim=dim, rng=rng,
+               **kwargs)

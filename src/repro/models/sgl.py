@@ -1,0 +1,69 @@
+"""SGL backbone (Wu et al., SIGIR 2021).
+
+Self-supervised Graph Learning = LightGCN + an InfoNCE branch between
+two edge-dropout views of the interaction graph.  Views are resampled
+at the start of every epoch, matching the original training protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+from repro.data.sampling import TrainingBatch
+from repro.graph.perturb import edge_dropout_adjacency
+from repro.losses.contrastive import InfoNCELoss
+from repro.models.lightgcn import LightGCN
+from repro.tensor import Tensor, ops
+from repro.tensor.random import ensure_rng
+
+__all__ = ["SGL"]
+
+
+class SGL(LightGCN):
+    """LightGCN with an edge-dropout contrastive auxiliary task.
+
+    Parameters
+    ----------
+    ssl_weight:
+        Coefficient λ of the InfoNCE branch.
+    ssl_tau:
+        InfoNCE temperature.
+    drop_ratio:
+        Edge-dropout probability for each view.
+    """
+
+    def __init__(self, dataset: InteractionDataset, dim: int = 64,
+                 num_layers: int = 2, ssl_weight: float = 0.1,
+                 ssl_tau: float = 0.2, drop_ratio: float = 0.1, rng=None):
+        super().__init__(dataset, dim=dim, num_layers=num_layers, rng=rng)
+        if ssl_weight < 0:
+            raise ValueError("ssl_weight must be non-negative")
+        self._dataset = dataset
+        self.ssl_weight = ssl_weight
+        self.drop_ratio = drop_ratio
+        self._infonce = InfoNCELoss(tau=ssl_tau)
+        self._view_rng = ensure_rng(rng)
+        self._view_adjacency = None
+        self.on_epoch_start(self._view_rng)
+
+    def on_epoch_start(self, rng) -> None:
+        """Resample the two edge-dropped graph views."""
+        rng = ensure_rng(rng)
+        self._view_adjacency = (
+            edge_dropout_adjacency(self._dataset, self.drop_ratio, rng),
+            edge_dropout_adjacency(self._dataset, self.drop_ratio, rng))
+
+    def auxiliary_loss(self, batch: TrainingBatch) -> Tensor | None:
+        if self.ssl_weight == 0:
+            return None
+        adj1, adj2 = self._view_adjacency
+        u1, i1 = self._propagate_on(adj1)
+        u2, i2 = self._propagate_on(adj2)
+        users = np.unique(batch.users)
+        items = np.unique(batch.positives)
+        user_ssl = self._infonce(ops.take_rows(u1, users),
+                                 ops.take_rows(u2, users))
+        item_ssl = self._infonce(ops.take_rows(i1, items),
+                                 ops.take_rows(i2, items))
+        return self.ssl_weight * (user_ssl + item_ssl)

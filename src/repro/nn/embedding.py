@@ -1,0 +1,53 @@
+"""Embedding table with gather forward / scatter-add backward.
+
+This is the core trainable object of every collaborative-filtering
+backbone in the paper: user and item ID embeddings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import xavier_uniform
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, ops
+
+__all__ = ["Embedding"]
+
+
+class Embedding(Module):
+    """A learnable lookup table of shape ``(num_embeddings, dim)``.
+
+    Parameters
+    ----------
+    num_embeddings:
+        Vocabulary size (number of users or items).
+    dim:
+        Embedding dimensionality (the paper fixes 64, Fig. 12 sweeps it).
+    init:
+        Callable ``(shape, rng) -> ndarray``; defaults to Xavier uniform
+        as the paper unifies initialization with Xavier.
+    rng:
+        Seed or generator for the initializer.
+    """
+
+    def __init__(self, num_embeddings: int, dim: int, init=None, rng=None):
+        super().__init__()
+        if num_embeddings <= 0 or dim <= 0:
+            raise ValueError("num_embeddings and dim must be positive, got "
+                             f"{num_embeddings} x {dim}")
+        initializer = init if init is not None else xavier_uniform
+        self.weight = Parameter(initializer((num_embeddings, dim), rng=rng))
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+
+    def forward(self, indices) -> Tensor:
+        """Look up rows; ``indices`` may be any integer array shape."""
+        return ops.take_rows(self.weight, np.asarray(indices, dtype=np.int64))
+
+    def all(self) -> Tensor:
+        """Return the full table as a tensor participating in the graph."""
+        return self.weight
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.dim})"

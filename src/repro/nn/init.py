@@ -1,0 +1,45 @@
+"""Weight initializers.
+
+The paper unifies initialization across models with Xavier (Glorot)
+initialization; both the uniform and normal variants are provided, plus
+a plain normal initializer for ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.random import ensure_rng
+
+__all__ = ["xavier_uniform", "xavier_normal", "normal"]
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("initializer needs at least a 1-D shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    return shape[1] * receptive, shape[0] * receptive
+
+
+def xavier_uniform(shape, gain: float = 1.0, rng=None) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with ``a = gain * sqrt(6 / (fan_in+fan_out))``."""
+    rng = ensure_rng(rng)
+    fan_in, fan_out = _fans(tuple(shape))
+    a = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-a, a, size=shape)
+
+
+def xavier_normal(shape, gain: float = 1.0, rng=None) -> np.ndarray:
+    """Glorot normal: N(0, gain^2 * 2 / (fan_in+fan_out))."""
+    rng = ensure_rng(rng)
+    fan_in, fan_out = _fans(tuple(shape))
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def normal(shape, std: float = 0.1, rng=None) -> np.ndarray:
+    """Plain zero-mean Gaussian initializer."""
+    rng = ensure_rng(rng)
+    return rng.normal(0.0, std, size=shape)

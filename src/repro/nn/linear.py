@@ -1,0 +1,39 @@
+"""Dense affine layer, used by the NGCF propagation transforms."""
+
+from __future__ import annotations
+
+from repro.nn.init import xavier_uniform
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, as_tensor, ops
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """``y = x W + b`` with Xavier-initialized ``W``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output widths.
+    bias:
+        Whether to include the additive bias term.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng=None):
+        super().__init__()
+        self.weight = Parameter(xavier_uniform((in_features, out_features), rng=rng))
+        self.bias = Parameter([0.0] * out_features) if bias else None
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x) -> Tensor:
+        out = ops.matmul(as_tensor(x), self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return (f"Linear({self.in_features}, {self.out_features}, "
+                f"bias={self.bias is not None})")

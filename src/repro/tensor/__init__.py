@@ -1,0 +1,10 @@
+"""Autograd substrate: numpy-backed tensors with reverse-mode gradients."""
+
+from repro.tensor.tensor import Tensor, as_tensor, no_grad, is_grad_enabled
+from repro.tensor import ops, functional
+from repro.tensor.random import ensure_rng, spawn_rngs
+
+__all__ = [
+    "Tensor", "as_tensor", "no_grad", "is_grad_enabled",
+    "ops", "functional", "ensure_rng", "spawn_rngs",
+]

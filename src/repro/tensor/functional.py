@@ -1,0 +1,150 @@
+"""Composite differentiable functions built on the primitive ops.
+
+These are the numerically careful building blocks the losses use:
+``logsumexp`` (the Log-Expectation-Exp structure at the heart of SL/BSL),
+stable ``sigmoid``/``softplus`` (BCE/BPR), and ``l2_normalize`` (cosine
+scoring, paper Appendix Table V).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor, as_tensor
+
+__all__ = [
+    "sigmoid", "softplus", "log_sigmoid", "relu", "leaky_relu",
+    "logsumexp", "logmeanexp", "softmax", "l2_normalize", "variance",
+    "inner_rows", "pairwise_scores", "euclidean_distance_rows",
+]
+
+
+def sigmoid(x) -> Tensor:
+    """Numerically stable logistic function with exact gradient."""
+    x = as_tensor(x)
+    data = _sigmoid_raw(x.data)
+
+    def backward(g):
+        return (g * data * (1.0 - data),)
+
+    return ops._node(data, (x,), backward)
+
+
+def _sigmoid_raw(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z, dtype=np.float64)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def softplus(x) -> Tensor:
+    """``log(1 + exp(x))`` computed without overflow; d/dx = sigmoid(x)."""
+    x = as_tensor(x)
+    data = np.logaddexp(0.0, x.data)
+
+    def backward(g):
+        return (g * _sigmoid_raw(x.data),)
+
+    return ops._node(data, (x,), backward)
+
+
+def log_sigmoid(x) -> Tensor:
+    """``log sigmoid(x) = -softplus(-x)``, the stable BPR kernel."""
+    return -softplus(-as_tensor(x))
+
+
+def relu(x) -> Tensor:
+    x = as_tensor(x)
+    return ops.maximum(x, Tensor(np.zeros((), dtype=x.dtype)))
+
+
+def leaky_relu(x, negative_slope: float = 0.2) -> Tensor:
+    """LeakyReLU as used by the NGCF propagation layers."""
+    x = as_tensor(x)
+    data = np.where(x.data > 0, x.data, negative_slope * x.data)
+
+    def backward(g):
+        slope = np.where(x.data > 0, 1.0, negative_slope)
+        return (g * slope,)
+
+    return ops._node(data, (x,), backward)
+
+
+def logsumexp(x, axis=None, keepdims: bool = False) -> Tensor:
+    """Stable ``log sum exp`` with the softmax gradient.
+
+    This is the Log-Expectation-Exp structure of Eq. (5)/(18) in the paper
+    (up to the ``log N`` shift handled by :func:`logmeanexp`).
+    """
+    x = as_tensor(x)
+    m = np.max(x.data, axis=axis, keepdims=True)
+    m = np.where(np.isfinite(m), m, 0.0)
+    shifted = np.exp(x.data - m)
+    s = shifted.sum(axis=axis, keepdims=True)
+    with np.errstate(divide="ignore"):
+        data = np.log(s) + m
+    if not keepdims and axis is not None:
+        data = np.squeeze(data, axis=axis)
+    elif not keepdims and axis is None:
+        data = data.reshape(())
+    # Degenerate all -inf rows: forward is -inf, gradient is zero.
+    soft = shifted / np.where(s == 0.0, 1.0, s)
+
+    def backward(g):
+        g = np.asarray(g)
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis)
+        return (g * soft,)
+
+    return ops._node(data, (x,), backward)
+
+
+def logmeanexp(x, axis=None, keepdims: bool = False) -> Tensor:
+    """``log E[exp(x)]`` under the empirical (uniform) distribution."""
+    x = as_tensor(x)
+    if axis is None:
+        count = x.size
+    else:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        count = int(np.prod([x.shape[ax] for ax in axes]))
+    return logsumexp(x, axis=axis, keepdims=keepdims) - float(np.log(count))
+
+
+def softmax(x, axis: int = -1) -> Tensor:
+    """Stable softmax expressed through logsumexp for a correct gradient."""
+    x = as_tensor(x)
+    return ops.exp(x - logsumexp(x, axis=axis, keepdims=True))
+
+
+def l2_normalize(x, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Project rows onto the unit sphere (cosine scoring, Appendix Table V)."""
+    x = as_tensor(x)
+    norm_sq = ops.sum_(x * x, axis=axis, keepdims=True)
+    return x / ops.sqrt(norm_sq + eps)
+
+
+def variance(x, axis=None, keepdims: bool = False) -> Tensor:
+    """Population variance ``E[x^2] - E[x]^2`` (Lemma 2's penalty term)."""
+    x = as_tensor(x)
+    mean = ops.mean_(x, axis=axis, keepdims=True)
+    centered = x - mean
+    return ops.mean_(centered * centered, axis=axis, keepdims=keepdims)
+
+
+def inner_rows(a, b) -> Tensor:
+    """Row-wise inner products: ``(n, d), (n, d) -> (n,)``."""
+    return ops.sum_(as_tensor(a) * as_tensor(b), axis=-1)
+
+
+def pairwise_scores(users, items) -> Tensor:
+    """All-pairs scores ``(n, d), (m, d) -> (n, m)`` via matmul."""
+    return ops.matmul(as_tensor(users), ops.transpose(as_tensor(items)))
+
+
+def euclidean_distance_rows(a, b, eps: float = 1e-12) -> Tensor:
+    """Row-wise Euclidean distance, used by the CML baseline."""
+    diff = as_tensor(a) - as_tensor(b)
+    return ops.sqrt(ops.sum_(diff * diff, axis=-1) + eps)

@@ -1,0 +1,8 @@
+"""Training loop, configuration and grid search."""
+
+from repro.train.config import TrainConfig
+from repro.train.trainer import Trainer, TrainResult, train_model
+from repro.train.grid import GridPoint, grid_search
+
+__all__ = ["TrainConfig", "Trainer", "TrainResult", "train_model",
+           "GridPoint", "grid_search"]

@@ -1,0 +1,56 @@
+"""Model checkpointing to ``.npz`` files."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.models.base import Recommender
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_META_KEY = "__meta__"
+
+
+def save_checkpoint(model: Recommender, path) -> None:
+    """Persist a model's parameters (and basic metadata) to ``path``.
+
+    The file is a standard ``.npz`` archive: one array per named
+    parameter plus a JSON metadata entry recording the model class and
+    entity counts, so mismatched loads fail loudly.
+    """
+    path = pathlib.Path(path)
+    state = model.state_dict()
+    meta = json.dumps({
+        "model_class": type(model).__name__,
+        "num_users": model.num_users,
+        "num_items": model.num_items,
+        "dim": model.dim,
+    })
+    np.savez(path, **state, **{_META_KEY: np.asarray(meta)})
+
+
+def load_checkpoint(model: Recommender, path) -> None:
+    """Load parameters saved by :func:`save_checkpoint` into ``model``.
+
+    Raises
+    ------
+    ValueError
+        If the checkpoint was written by a different model class or a
+        differently-sized model.
+    """
+    path = pathlib.Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        meta = json.loads(str(archive[_META_KEY]))
+        if meta["model_class"] != type(model).__name__:
+            raise ValueError(
+                f"checkpoint is for {meta['model_class']}, "
+                f"got {type(model).__name__}")
+        if (meta["num_users"], meta["num_items"]) != (model.num_users,
+                                                      model.num_items):
+            raise ValueError("checkpoint entity counts do not match model")
+        state = {key: archive[key] for key in archive.files
+                 if key != _META_KEY}
+    model.load_state_dict(state)

@@ -1,0 +1,57 @@
+"""Small grid-search helper.
+
+The paper grid-searches temperatures, learning rates and regularization
+per model/dataset.  :func:`grid_search` runs a factory over a cartesian
+grid and returns all results sorted by the watched metric.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["GridPoint", "grid_search"]
+
+
+@dataclass
+class GridPoint:
+    """One evaluated configuration."""
+
+    params: dict
+    metrics: dict[str, float]
+
+    def metric(self, name: str) -> float:
+        return self.metrics.get(name, float("-inf"))
+
+
+def grid_search(run_fn, grid: dict[str, list], watch_metric: str = "ndcg@20",
+                verbose: bool = False) -> list[GridPoint]:
+    """Evaluate ``run_fn(**params)`` over the cartesian grid.
+
+    Parameters
+    ----------
+    run_fn:
+        Callable returning a metrics dict (e.g. wraps ``train_model``).
+    grid:
+        Mapping from parameter name to candidate values.
+    watch_metric:
+        Results are sorted descending by this metric.
+
+    Returns
+    -------
+    List of :class:`GridPoint`, best first.
+    """
+    keys = sorted(grid)
+    points: list[GridPoint] = []
+    for values in itertools.product(*(grid[k] for k in keys)):
+        params = dict(zip(keys, values))
+        metrics = run_fn(**params)
+        if not isinstance(metrics, dict):
+            raise TypeError("run_fn must return a metrics dict, got "
+                            f"{type(metrics).__name__}")
+        points.append(GridPoint(params=params, metrics=metrics))
+        if verbose:
+            shown = metrics.get(watch_metric, float("nan"))
+            print(f"grid {params} -> {watch_metric}={shown:.4f}")
+    points.sort(key=lambda p: p.metric(watch_metric), reverse=True)
+    return points

@@ -1,0 +1,158 @@
+"""Mini-batch training loop.
+
+Connects the pieces: a backbone from :mod:`repro.models`, a loss from
+:mod:`repro.losses`, a sampler from :mod:`repro.data.sampling` and the
+evaluator.  Supports the paper's protocol: Adam, optional periodic
+evaluation with early stopping on NDCG@20, model-specific auxiliary
+losses (SSL branches) and post-step hooks (CML projection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+from repro.data.sampling import (InBatchSampler, PopularityNegativeSampler,
+                                 UniformNegativeSampler)
+from repro.eval.evaluator import Evaluator
+from repro.losses.base import Loss
+from repro.models.base import Recommender
+from repro.nn.optim import Adam
+from repro.tensor.random import ensure_rng, spawn_rngs
+from repro.train.config import TrainConfig
+
+__all__ = ["TrainResult", "Trainer", "train_model"]
+
+
+@dataclass
+class TrainResult:
+    """Outcome of a training run."""
+
+    model: Recommender
+    #: loss value per epoch
+    loss_history: list[float] = field(default_factory=list)
+    #: (epoch, metrics dict) for each evaluation
+    eval_history: list[tuple[int, dict[str, float]]] = field(default_factory=list)
+    #: metrics of the best (or final) evaluation
+    final_metrics: dict[str, float] = field(default_factory=dict)
+    best_epoch: int = -1
+
+    @property
+    def final_loss(self) -> float:
+        return self.loss_history[-1] if self.loss_history else float("nan")
+
+
+class Trainer:
+    """Drive one (model, loss, dataset) training run.
+
+    Parameters
+    ----------
+    model, loss, dataset:
+        The three pluggable components.
+    config:
+        Hyperparameters; see :class:`~repro.train.config.TrainConfig`.
+    evaluator:
+        Optional pre-built evaluator (to share cutoffs across runs).
+    """
+
+    def __init__(self, model: Recommender, loss: Loss,
+                 dataset: InteractionDataset, config: TrainConfig,
+                 evaluator: Evaluator | None = None):
+        self.model = model
+        self.loss = loss
+        self.dataset = dataset
+        self.config = config
+        sampler_rng, self._epoch_rng = spawn_rngs(config.seed, 2)
+        self.sampler = self._build_sampler(sampler_rng)
+        self.optimizer = Adam(model.parameters(), lr=config.learning_rate,
+                              weight_decay=config.weight_decay)
+        if evaluator is None and (config.eval_every or config.patience):
+            evaluator = Evaluator(dataset, ks=(20,))
+        self.evaluator = evaluator
+
+    def _build_sampler(self, rng):
+        cfg = self.config
+        if cfg.sampler == "in-batch":
+            if cfg.rnoise:
+                raise ValueError("rnoise requires the uniform sampler")
+            return InBatchSampler(self.dataset, batch_size=cfg.batch_size,
+                                  rng=rng)
+        if cfg.sampler == "popularity":
+            return PopularityNegativeSampler(
+                self.dataset, n_negatives=cfg.n_negatives,
+                batch_size=cfg.batch_size, rng=rng)
+        return UniformNegativeSampler(
+            self.dataset, n_negatives=cfg.n_negatives,
+            batch_size=cfg.batch_size, rnoise=cfg.rnoise, rng=rng)
+
+    # ------------------------------------------------------------------
+    def fit(self) -> TrainResult:
+        cfg = self.config
+        result = TrainResult(model=self.model)
+        best_value = -np.inf
+        best_state = None
+        stale = 0
+        self.model.train()
+        for epoch in range(1, cfg.epochs + 1):
+            self.model.on_epoch_start(self._epoch_rng)
+            if hasattr(self.loss, "set_epoch"):
+                self.loss.set_epoch(epoch, cfg.epochs)
+            epoch_loss = self._run_epoch()
+            result.loss_history.append(epoch_loss)
+            if cfg.verbose:
+                print(f"[{self.dataset.name}] epoch {epoch:3d} "
+                      f"loss={epoch_loss:.4f}")
+            should_eval = cfg.eval_every and (epoch % cfg.eval_every == 0)
+            if not should_eval:
+                continue
+            metrics = self.evaluator.evaluate(self.model).metrics
+            result.eval_history.append((epoch, metrics))
+            value = metrics.get(cfg.watch_metric, -np.inf)
+            if value > best_value:
+                best_value = value
+                best_state = self.model.state_dict()
+                result.best_epoch = epoch
+                stale = 0
+            else:
+                stale += 1
+                if cfg.patience and stale >= cfg.patience:
+                    break
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+            result.final_metrics = dict(
+                result.eval_history[-1 - stale][1]) if result.eval_history else {}
+        if self.evaluator is not None and not result.final_metrics:
+            result.final_metrics = self.evaluator.evaluate(self.model).metrics
+        self.model.eval()
+        return result
+
+    def _run_epoch(self) -> float:
+        total, count = 0.0, 0
+        for batch in self.sampler.epoch():
+            self.optimizer.zero_grad()
+            loss_t = self.model.custom_loss(batch)
+            if loss_t is None:
+                pos, neg = self.model.batch_scores(batch)
+                loss_t = self.loss(pos, neg)
+            aux = self.model.auxiliary_loss(batch)
+            if aux is not None:
+                loss_t = loss_t + aux
+            loss_t.backward()
+            self.optimizer.step()
+            self.model.post_step()
+            total += loss_t.item() * len(batch)
+            count += len(batch)
+        return total / max(count, 1)
+
+
+def train_model(model: Recommender, loss: Loss, dataset: InteractionDataset,
+                config: TrainConfig | None = None, **overrides) -> TrainResult:
+    """Convenience wrapper: build a :class:`Trainer` and fit.
+
+    >>> result = train_model(model, get_loss("bsl"), dataset, epochs=20)
+    """
+    config = (config or TrainConfig()).replace(**overrides) if overrides else \
+        (config or TrainConfig())
+    return Trainer(model, loss, dataset, config).fit()

@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """The 'tiny' synthetic preset (60 users, 80 items)."""
+    return load_dataset("tiny")
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,41 @@
+"""Shared test helpers (gradient checking)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def numeric_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of scalar ``fn`` at ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for idx in range(flat.size):
+        orig = flat[idx]
+        flat[idx] = orig + eps
+        f_plus = fn(x)
+        flat[idx] = orig - eps
+        f_minus = fn(x)
+        flat[idx] = orig
+        gflat[idx] = (f_plus - f_minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradient(tensor_fn, numpy_fn, shape, rng, atol=1e-5,
+                   low=-2.0, high=2.0):
+    """Compare autograd vs finite differences for one op.
+
+    ``tensor_fn(Tensor) -> scalar Tensor`` and ``numpy_fn(ndarray) ->
+    float`` must compute the same function.
+    """
+    x = rng.uniform(low, high, size=shape)
+    t = Tensor(x.copy(), requires_grad=True)
+    out = tensor_fn(t)
+    assert out.size == 1, "gradcheck target must be scalar"
+    out.backward()
+    expected = numeric_gradient(lambda arr: float(numpy_fn(arr)), x.copy())
+    np.testing.assert_allclose(t.grad, expected, atol=atol,
+                               err_msg="autograd gradient mismatch")
+    np.testing.assert_allclose(out.item(), float(numpy_fn(x)), atol=1e-8)

@@ -1,0 +1,100 @@
+"""t-SNE and separation scores."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (tsne, silhouette_score,
+                            cluster_separation_ratio, alignment_uniformity)
+
+
+def _blobs(rng, n_per=20, centers=((0, 0, 0), (8, 8, 8), (-8, 8, -8))):
+    points, labels = [], []
+    for c, center in enumerate(centers):
+        points.append(rng.normal(size=(n_per, 3)) + np.asarray(center))
+        labels.extend([c] * n_per)
+    return np.concatenate(points), np.asarray(labels)
+
+
+class TestTsne:
+    def test_output_shape(self, rng):
+        x, _ = _blobs(rng)
+        y = tsne(x, n_components=2, n_iter=60, rng=0)
+        assert y.shape == (len(x), 2)
+        assert np.all(np.isfinite(y))
+
+    def test_preserves_cluster_structure(self, rng):
+        x, labels = _blobs(rng)
+        y = tsne(x, perplexity=10, n_iter=250, rng=0)
+        assert silhouette_score(y, labels) > 0.3
+
+    def test_deterministic_under_seed(self, rng):
+        x, _ = _blobs(rng, n_per=8)
+        a = tsne(x, n_iter=50, rng=3)
+        b = tsne(x, n_iter=50, rng=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros((3, 4)))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros(10))
+
+    def test_centered_output(self, rng):
+        x, _ = _blobs(rng, n_per=10)
+        y = tsne(x, n_iter=50, rng=0)
+        np.testing.assert_allclose(y.mean(axis=0), 0.0, atol=1e-8)
+
+
+class TestSilhouette:
+    def test_separated_blobs_high(self, rng):
+        x, labels = _blobs(rng)
+        assert silhouette_score(x, labels) > 0.7
+
+    def test_shuffled_labels_low(self, rng):
+        x, labels = _blobs(rng)
+        shuffled = labels.copy()
+        rng.shuffle(shuffled)
+        assert silhouette_score(x, shuffled) < 0.2
+
+    def test_requires_two_clusters(self, rng):
+        with pytest.raises(ValueError):
+            silhouette_score(rng.normal(size=(5, 2)), np.zeros(5))
+
+    def test_range(self, rng):
+        x, labels = _blobs(rng)
+        s = silhouette_score(x, labels)
+        assert -1.0 <= s <= 1.0
+
+
+class TestSeparationRatio:
+    def test_separated_greater_than_overlapping(self, rng):
+        x_far, labels = _blobs(rng)
+        x_near, _ = _blobs(rng, centers=((0, 0, 0), (1, 0, 0), (0, 1, 0)))
+        assert (cluster_separation_ratio(x_far, labels)
+                > cluster_separation_ratio(x_near, labels))
+
+    def test_requires_populated_clusters(self, rng):
+        with pytest.raises(ValueError):
+            cluster_separation_ratio(rng.normal(size=(3, 2)),
+                                     np.array([0, 1, 2]))
+
+
+class TestAlignmentUniformity:
+    def test_tight_clusters_align_better(self, rng):
+        x_tight, labels = _blobs(rng)
+        x_loose = x_tight + rng.normal(size=x_tight.shape) * 20
+        a_tight, _ = alignment_uniformity(x_tight, labels)
+        a_loose, _ = alignment_uniformity(x_loose, labels)
+        assert a_tight < a_loose
+
+    def test_alignment_non_negative(self, rng):
+        x, labels = _blobs(rng)
+        alignment, _ = alignment_uniformity(x, labels)
+        assert alignment >= 0
+
+    def test_uniformity_negative(self, rng):
+        x, labels = _blobs(rng)
+        _, uniformity = alignment_uniformity(x, labels)
+        assert uniformity <= 0

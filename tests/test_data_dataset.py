@@ -1,0 +1,104 @@
+"""InteractionDataset invariants."""
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset
+
+
+@pytest.fixture()
+def small():
+    train = np.array([[0, 0], [0, 1], [1, 2], [2, 0], [2, 3]])
+    test = np.array([[0, 2], [1, 0], [2, 1]])
+    return InteractionDataset(3, 4, train, test, name="unit")
+
+
+class TestConstruction:
+    def test_counts(self, small):
+        assert small.num_train == 5
+        assert small.num_test == 3
+        assert small.density == pytest.approx(5 / 12)
+
+    def test_grouping(self, small):
+        np.testing.assert_array_equal(small.train_items_by_user[0], [0, 1])
+        np.testing.assert_array_equal(small.train_items_by_user[1], [2])
+        np.testing.assert_array_equal(small.test_items_by_user[2], [1])
+
+    def test_popularity_counts(self, small):
+        np.testing.assert_array_equal(small.item_popularity, [2, 1, 1, 1])
+
+    def test_user_degree(self, small):
+        np.testing.assert_array_equal(small.user_degree(), [2, 1, 2])
+
+    def test_out_of_range_user_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionDataset(2, 4, np.array([[5, 0]]), np.empty((0, 2)))
+
+    def test_out_of_range_item_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionDataset(2, 4, np.array([[0, 9]]), np.empty((0, 2)))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionDataset(2, 4, np.array([[0, 1, 2]]), np.empty((0, 2)))
+
+    def test_empty_test_ok(self):
+        ds = InteractionDataset(2, 2, np.array([[0, 0]]), np.empty((0, 2)))
+        assert ds.num_test == 0
+
+    def test_is_train_positive(self, small):
+        assert small.is_train_positive(0, 1)
+        assert not small.is_train_positive(0, 3)
+
+
+class TestDenseViews:
+    def test_train_matrix_binary(self, small):
+        mat = small.train_matrix().toarray()
+        assert mat.shape == (3, 4)
+        assert mat.sum() == 5
+        assert set(np.unique(mat)) <= {0.0, 1.0}
+
+    def test_positive_mask_matches_matrix(self, small):
+        np.testing.assert_array_equal(
+            small.positive_mask(), small.train_matrix().toarray() > 0)
+
+    def test_positive_mask_cached(self, small):
+        assert small.positive_mask() is small.positive_mask()
+
+    def test_padded_positives(self, small):
+        padded, degrees = small.padded_positives()
+        np.testing.assert_array_equal(degrees, [2, 1, 2])
+        np.testing.assert_array_equal(padded[0, :2], [0, 1])
+        np.testing.assert_array_equal(padded[2, :2], [0, 3])
+
+
+class TestPopularityGroups:
+    def test_groups_partition_items(self, small):
+        groups = small.popularity_groups(2)
+        assert groups.shape == (4,)
+        assert set(groups) == {0, 1}
+
+    def test_most_popular_in_top_group(self):
+        train = np.array([[0, 0]] * 1 + [[1, 1]] * 1 +
+                         [[2, 2]] * 1 + [[0, 3]] + [[1, 3]] + [[2, 3]])
+        ds = InteractionDataset(3, 4, train, np.empty((0, 2)))
+        groups = ds.popularity_groups(2)
+        assert groups[3] == 1  # item 3 has 3 interactions: top group
+
+    def test_group_sizes_balanced(self, tiny_dataset):
+        groups = tiny_dataset.popularity_groups(10)
+        counts = np.bincount(groups, minlength=10)
+        assert counts.max() - counts.min() <= 1
+
+
+class TestDerivation:
+    def test_with_train_pairs_keeps_test(self, small):
+        clone = small.with_train_pairs(np.array([[0, 3]]), name="clone")
+        assert clone.num_train == 1
+        np.testing.assert_array_equal(clone.test_pairs, small.test_pairs)
+        assert clone.name == "clone"
+        # original untouched
+        assert small.num_train == 5
+
+    def test_repr_mentions_name(self, small):
+        assert "unit" in repr(small)

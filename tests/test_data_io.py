@@ -1,0 +1,92 @@
+"""Interaction-file I/O (LightGCN format and plain pairs)."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.data.io import (load_lightgcn_format, read_adjacency_lists,
+                           read_pairs, save_lightgcn_format)
+
+
+class TestReadPairs:
+    def test_reads_whitespace_pairs(self, tmp_path):
+        path = tmp_path / "pairs.txt"
+        path.write_text("0 3\n1 2\n\n2 0\n")
+        pairs = read_pairs(path)
+        np.testing.assert_array_equal(pairs, [[0, 3], [1, 2], [2, 0]])
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "pairs.tsv"
+        path.write_text("0\t3\n1\t2\n")
+        pairs = read_pairs(path, delimiter="\t")
+        np.testing.assert_array_equal(pairs, [[0, 3], [1, 2]])
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n7\n")
+        with pytest.raises(ValueError, match="bad.txt:2"):
+            read_pairs(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        assert read_pairs(path).shape == (0, 2)
+
+
+class TestAdjacencyLists:
+    def test_expands_lines(self, tmp_path):
+        path = tmp_path / "train.txt"
+        path.write_text("0 1 2 3\n1 4\n")
+        pairs = read_adjacency_lists(path)
+        np.testing.assert_array_equal(
+            pairs, [[0, 1], [0, 2], [0, 3], [1, 4]])
+
+    def test_user_with_no_items_skipped(self, tmp_path):
+        path = tmp_path / "train.txt"
+        path.write_text("0 1\n1\n2 3\n")
+        pairs = read_adjacency_lists(path)
+        np.testing.assert_array_equal(pairs, [[0, 1], [2, 3]])
+
+
+class TestRoundtrip:
+    def test_save_then_load_preserves_dataset(self, tiny_dataset, tmp_path):
+        train_path = tmp_path / "train.txt"
+        test_path = tmp_path / "test.txt"
+        save_lightgcn_format(tiny_dataset, train_path, test_path)
+        loaded = load_lightgcn_format(train_path, test_path, name="rt")
+        assert loaded.num_train == tiny_dataset.num_train
+        assert loaded.num_test == tiny_dataset.num_test
+        original = {(int(u), int(i)) for u, i in tiny_dataset.train_pairs}
+        roundtrip = {(int(u), int(i)) for u, i in loaded.train_pairs}
+        assert original == roundtrip
+
+    def test_entity_counts_inferred(self, tmp_path):
+        train = tmp_path / "train.txt"
+        test = tmp_path / "test.txt"
+        train.write_text("0 1\n5 2\n")
+        test.write_text("0 9\n")
+        ds = load_lightgcn_format(train, test)
+        assert ds.num_users == 6
+        assert ds.num_items == 10
+
+    def test_empty_train_rejected(self, tmp_path):
+        train = tmp_path / "train.txt"
+        test = tmp_path / "test.txt"
+        train.write_text("")
+        test.write_text("0 1\n")
+        with pytest.raises(ValueError):
+            load_lightgcn_format(train, test)
+
+    def test_loaded_dataset_trains(self, tiny_dataset, tmp_path):
+        from repro.losses import get_loss
+        from repro.models import MF
+        from repro.train import TrainConfig, train_model
+        train_path = tmp_path / "train.txt"
+        test_path = tmp_path / "test.txt"
+        save_lightgcn_format(tiny_dataset, train_path, test_path)
+        loaded = load_lightgcn_format(train_path, test_path)
+        model = MF(loaded.num_users, loaded.num_items, dim=8, rng=0)
+        result = train_model(model, get_loss("sl", tau=0.3), loaded,
+                             TrainConfig(epochs=2, batch_size=256,
+                                         n_negatives=8, seed=0))
+        assert np.isfinite(result.final_loss)

@@ -1,0 +1,123 @@
+"""Synthetic generator: statistics and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.data import (SyntheticConfig, generate_dataset, load_dataset,
+                        dataset_names, DATASET_PRESETS)
+
+
+class TestGeneratorBasics:
+    def test_deterministic_for_seed(self):
+        cfg = SyntheticConfig(num_users=50, num_items=60, seed=9)
+        a = generate_dataset(cfg)
+        b = generate_dataset(cfg)
+        np.testing.assert_array_equal(a.train_pairs, b.train_pairs)
+        np.testing.assert_array_equal(a.test_pairs, b.test_pairs)
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset(SyntheticConfig(num_users=50, num_items=60, seed=1))
+        b = generate_dataset(SyntheticConfig(num_users=50, num_items=60, seed=2))
+        assert not np.array_equal(a.train_pairs, b.train_pairs)
+
+    def test_every_user_has_test_items(self):
+        ds = generate_dataset(SyntheticConfig(num_users=40, num_items=50, seed=0))
+        assert all(len(ds.test_items_by_user[u]) >= 1
+                   for u in range(ds.num_users))
+
+    def test_no_duplicate_interactions_per_user(self):
+        ds = generate_dataset(SyntheticConfig(num_users=30, num_items=50, seed=3))
+        for u in range(ds.num_users):
+            items = np.concatenate([ds.train_items_by_user[u],
+                                    ds.test_items_by_user[u]])
+            assert len(items) == len(set(items.tolist()))
+
+    def test_mean_degree_near_target(self):
+        cfg = SyntheticConfig(num_users=200, num_items=300,
+                              mean_interactions=20.0, seed=4)
+        ds = generate_dataset(cfg)
+        total_deg = (ds.num_train + ds.num_test) / cfg.num_users
+        assert 14.0 < total_deg < 26.0
+
+    def test_exposes_ground_truth(self):
+        ds = generate_dataset(SyntheticConfig(num_users=30, num_items=40, seed=0))
+        assert ds.item_clusters is not None
+        assert ds.user_clusters.shape == (30,)
+        assert ds.true_affinity.shape == (30, ds.num_clusters
+                                          if hasattr(ds, "num_clusters")
+                                          else ds.true_affinity.shape[1])
+        np.testing.assert_allclose(ds.true_affinity.sum(axis=1),
+                                   np.ones(30), atol=1e-9)
+
+
+class TestLongTail:
+    def test_popularity_is_long_tailed(self):
+        ds = generate_dataset(SyntheticConfig(
+            num_users=300, num_items=400, mean_interactions=25,
+            popularity_exponent=1.0, seed=5))
+        pop = np.sort(ds.item_popularity)[::-1]
+        top_decile = pop[: len(pop) // 10].sum()
+        assert top_decile / max(1, pop.sum()) > 0.25
+
+    def test_cluster_structure_present(self):
+        """Users interact mostly with items of their home cluster."""
+        ds = generate_dataset(SyntheticConfig(
+            num_users=100, num_items=150, num_clusters=5,
+            cluster_affinity=0.8, seed=6))
+        in_cluster = 0
+        total = 0
+        for u in range(ds.num_users):
+            items = ds.train_items_by_user[u]
+            in_cluster += (ds.item_clusters[items] == ds.user_clusters[u]).sum()
+            total += len(items)
+        assert in_cluster / total > 0.5  # way above the 1/5 chance level
+
+
+class TestConfigValidation:
+    def test_rejects_single_cluster(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_clusters=1)
+
+    def test_rejects_bad_affinity(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(cluster_affinity=0.0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(cluster_affinity=1.5)
+
+    def test_rejects_bad_test_fraction(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(test_fraction=1.0)
+
+
+class TestPresets:
+    def test_all_presets_load(self):
+        for name in dataset_names():
+            ds = load_dataset(name)
+            assert ds.num_train > 0
+            assert ds.name == name
+
+    def test_cache_returns_same_object(self):
+        assert load_dataset("tiny") is load_dataset("tiny")
+
+    def test_cache_bypass(self):
+        a = load_dataset("tiny")
+        b = load_dataset("tiny", use_cache=False)
+        assert a is not b
+        np.testing.assert_array_equal(a.train_pairs, b.train_pairs)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("netflix-full")
+
+    def test_density_ordering_mirrors_table1(self):
+        """ML-1M densest, Amazon sparsest, as in the paper's Table I."""
+        density = {name: load_dataset(name).density
+                   for name in ("amazon-small", "yelp2018-small",
+                                "gowalla-small", "ml1m-small")}
+        assert density["ml1m-small"] > density["yelp2018-small"]
+        assert density["yelp2018-small"] > density["amazon-small"]
+        assert density["gowalla-small"] > density["amazon-small"]
+
+    def test_presets_have_distinct_seeds(self):
+        seeds = [cfg.seed for cfg in DATASET_PRESETS.values()]
+        assert len(seeds) == len(set(seeds))

@@ -1,0 +1,220 @@
+"""DRO theory: Lemma 1 identity, Eq. 16, Lemma 2 expansion, ablation losses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dro import (worst_case_weights, kl_divergence, tilted_radius,
+                       dro_objective, dro_objective_exact, optimal_tau,
+                       implied_eta, eta_distribution, log_expectation_exp,
+                       taylor_approximation, approximation_error,
+                       variance_penalty, VarianceAblatedSoftmaxLoss,
+                       MeanVarianceSoftmaxLoss)
+from repro.tensor import Tensor
+
+_scores_strategy = arrays(np.float64, st.integers(3, 12),
+                          elements=st.floats(-1.0, 1.0))
+
+
+class TestWorstCaseWeights:
+    def test_is_distribution(self, rng):
+        w = worst_case_weights(rng.normal(size=10), tau=0.2)
+        assert np.all(w >= 0)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_monotone_in_score(self, rng):
+        scores = np.sort(rng.normal(size=8))
+        w = worst_case_weights(scores, tau=0.2)
+        assert np.all(np.diff(w) >= 0)
+
+    def test_lower_tau_more_extreme(self, rng):
+        """Matches Fig. 4b: smaller τ concentrates mass on hard negatives."""
+        scores = rng.normal(size=50)
+        sharp = worst_case_weights(scores, tau=0.09)
+        gentle = worst_case_weights(scores, tau=0.13)
+        assert sharp.max() > gentle.max()
+
+    def test_base_probs_respected(self):
+        scores = np.zeros(4)
+        base = np.array([0.7, 0.1, 0.1, 0.1])
+        np.testing.assert_allclose(worst_case_weights(scores, 1.0, base),
+                                   base, atol=1e-12)
+
+    def test_huge_tau_recovers_base(self, rng):
+        scores = rng.normal(size=6)
+        w = worst_case_weights(scores, tau=1e6)
+        np.testing.assert_allclose(w, np.full(6, 1 / 6), atol=1e-5)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            worst_case_weights(rng.normal(size=3), tau=0.0)
+        with pytest.raises(ValueError):
+            worst_case_weights(np.zeros(3), 1.0, np.ones(4) / 4)
+
+
+class TestKL:
+    def test_zero_for_identical(self):
+        p = np.array([0.3, 0.7])
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_positive_otherwise(self):
+        assert kl_divergence(np.array([0.9, 0.1]),
+                             np.array([0.5, 0.5])) > 0
+
+    def test_infinite_off_support(self):
+        assert kl_divergence(np.array([1.0, 0.0]),
+                             np.array([0.0, 1.0])) == np.inf
+
+    def test_radius_decreases_with_tau(self, rng):
+        scores = rng.normal(size=30)
+        radii = [tilted_radius(scores, tau) for tau in (0.05, 0.1, 0.5, 2.0)]
+        assert radii == sorted(radii, reverse=True)
+
+
+class TestLemma1Identity:
+    """τ·log E[exp(f/τ)] must equal the exact KL-ball maximum (Lemma 1)."""
+
+    def test_duality_identity(self, rng):
+        scores = rng.normal(size=40)
+        tau = 0.3
+        # Radius implied by the tilt at tau:
+        eta = tilted_radius(scores, tau)
+        exact_value, tau_star = dro_objective_exact(scores, eta)
+        # The recovered multiplier must be the tau we started from...
+        assert tau_star == pytest.approx(tau, rel=1e-3)
+        # ...and the DRO value must satisfy the Lagrangian identity
+        # E_P*[f] = tau*log E[exp(f/tau)] + tau*KL(P*||P0).
+        lhs = exact_value
+        rhs = dro_objective(scores, tau) + tau * eta
+        assert lhs == pytest.approx(rhs, rel=1e-6)
+
+    def test_argmax_is_exponential_tilt(self, rng):
+        scores = rng.normal(size=20)
+        tau = 0.25
+        eta = tilted_radius(scores, tau)
+        w = worst_case_weights(scores, tau)
+        # No distribution inside the KL ball can beat the tilt.
+        value_tilt = float(w @ scores)
+        exact_value, _ = dro_objective_exact(scores, eta)
+        assert value_tilt == pytest.approx(exact_value, rel=1e-5)
+
+    def test_dro_objective_bounds(self, rng):
+        """mean <= tau*logEexp <= max for any tau."""
+        scores = rng.normal(size=25)
+        for tau in (0.05, 0.3, 2.0):
+            val = dro_objective(scores, tau)
+            assert scores.mean() - 1e-9 <= val <= scores.max() + 1e-9
+
+    def test_eta_zero_gives_expectation(self, rng):
+        scores = rng.normal(size=10)
+        value, _ = dro_objective_exact(scores, 0.0)
+        assert value == pytest.approx(scores.mean())
+
+    def test_huge_eta_gives_max(self, rng):
+        scores = rng.normal(size=10)
+        value, _ = dro_objective_exact(scores, 1e6)
+        assert value == pytest.approx(scores.max())
+
+    def test_constant_scores_degenerate(self):
+        value, _ = dro_objective_exact(np.full(5, 0.7), 0.5)
+        assert value == pytest.approx(0.7)
+
+
+class TestCorollaryEq16:
+    def test_roundtrip(self):
+        tau = optimal_tau(variance=0.08, eta=1.0)
+        assert implied_eta(0.08, tau) == pytest.approx(1.0)
+
+    def test_tau_decreases_with_eta(self):
+        assert optimal_tau(0.1, 2.0) < optimal_tau(0.1, 0.5)
+
+    def test_tau_increases_with_variance(self):
+        """The Fig. 3 'contradiction' resolution: noisier scores have
+        larger variance, pushing the optimal τ up."""
+        assert optimal_tau(0.2, 1.0) > optimal_tau(0.05, 1.0)
+
+    def test_eta_distribution_shape(self, rng):
+        neg = rng.normal(size=(16, 64))
+        etas = eta_distribution(neg, tau=0.1)
+        assert etas.shape == (16,)
+        np.testing.assert_allclose(etas, neg.var(axis=1) / 0.02, rtol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_tau(0.1, 0.0)
+        with pytest.raises(ValueError):
+            implied_eta(0.1, 0.0)
+        with pytest.raises(ValueError):
+            eta_distribution(np.zeros(5), 0.1)
+
+
+class TestLemma2Taylor:
+    def test_expansion_components(self, rng):
+        scores = rng.normal(size=30)
+        tau = 5.0
+        assert taylor_approximation(scores, tau) == pytest.approx(
+            scores.mean() + variance_penalty(scores, tau))
+
+    def test_error_vanishes_as_tau_grows(self, rng):
+        scores = rng.normal(size=30)
+        errors = [approximation_error(scores, tau) for tau in (1.0, 4.0, 16.0)]
+        assert errors == sorted(errors, reverse=True)
+
+    @settings(max_examples=40, deadline=None)
+    @given(_scores_strategy)
+    def test_remainder_is_higher_order(self, scores):
+        """|exact - approx| * tau -> 0, i.e. the remainder is o(1/tau)."""
+        if np.allclose(scores, scores[0]):
+            return
+        e_small = approximation_error(scores, 10.0) * 10.0
+        e_large = approximation_error(scores, 100.0) * 100.0
+        # Allow slack for float cancellation when both remainders are
+        # already at numerical-noise scale.
+        assert e_large <= e_small * 1.1 + 1e-8
+
+    @settings(max_examples=40, deadline=None)
+    @given(_scores_strategy)
+    def test_log_e_exp_upper_bounds_mean(self, scores):
+        assert log_expectation_exp(scores, 0.7) >= scores.mean() - 1e-9
+
+
+class TestAblationLosses:
+    def _batch(self, rng):
+        return (Tensor(rng.normal(size=6) * 0.5, requires_grad=True),
+                Tensor(rng.normal(size=(6, 12)) * 0.5, requires_grad=True))
+
+    def test_meanvar_approximates_sl_at_high_tau(self, rng):
+        from repro.losses import SoftmaxLoss
+        pos_data = rng.normal(size=6) * 0.3
+        neg_data = rng.normal(size=(6, 12)) * 0.3
+        tau = 8.0
+        sl = SoftmaxLoss(tau=tau)(Tensor(pos_data), Tensor(neg_data)).item()
+        surrogate = MeanVarianceSoftmaxLoss(tau=tau)(
+            Tensor(pos_data), Tensor(neg_data)).item()
+        # SL's row loss is -pos/tau + logsumexp(neg/tau)
+        #   = -pos/tau + log(m) + mean/tau + var/(2 tau^2) + o(1/tau^2),
+        # while the surrogate is (-pos + mean + var/(2 tau)) / tau;
+        # they differ by the constant log(m) at large tau.
+        offset = np.log(12)
+        assert surrogate == pytest.approx(sl - offset, abs=1e-3)
+
+    def test_novar_drops_variance_term(self, rng):
+        pos, neg = self._batch(rng)
+        tau = 0.5
+        with_var = MeanVarianceSoftmaxLoss(tau=tau)(pos, neg).item()
+        without = VarianceAblatedSoftmaxLoss(tau=tau)(pos, neg).item()
+        expected_gap = (neg.data.var(axis=1).mean() / (2 * tau)) / tau
+        assert with_var - without == pytest.approx(expected_gap, rel=1e-9)
+
+    def test_novar_gradient_uniform_over_negatives(self, rng):
+        pos, neg = self._batch(rng)
+        VarianceAblatedSoftmaxLoss(tau=0.2)(pos, neg).backward()
+        row = neg.grad[0]
+        np.testing.assert_allclose(row, np.full_like(row, row[0]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VarianceAblatedSoftmaxLoss(tau=0.0)
+        with pytest.raises(ValueError):
+            MeanVarianceSoftmaxLoss(tau=-1.0)

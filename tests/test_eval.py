@@ -1,0 +1,163 @@
+"""Metrics vs brute force; evaluator masking and aggregation; groups."""
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset
+from repro.eval import (recall_at_k, ndcg_at_k, precision_at_k,
+                        hit_rate_at_k, average_precision_at_k, rank_items,
+                        Evaluator, evaluate_scores, group_ndcg, fairness_gap)
+
+
+class TestRankItems:
+    def test_orders_by_score(self):
+        scores = np.array([[0.1, 0.9, 0.5]])
+        np.testing.assert_array_equal(rank_items(scores, 3), [[1, 2, 0]])
+
+    def test_k_larger_than_items(self):
+        scores = np.array([[0.3, 0.1]])
+        assert rank_items(scores, 10).shape == (1, 2)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            rank_items(np.zeros((1, 3)), 0)
+
+    def test_matches_argsort(self, rng):
+        scores = rng.normal(size=(5, 30))
+        top = rank_items(scores, 10)
+        expected = np.argsort(-scores, axis=1)[:, :10]
+        np.testing.assert_array_equal(top, expected)
+
+
+class TestMetricValues:
+    def test_recall(self):
+        top = np.array([3, 1, 7])
+        assert recall_at_k(top, {1, 2}) == pytest.approx(0.5)
+        assert recall_at_k(top, {5}) == 0.0
+        assert recall_at_k(top, set()) == 0.0
+
+    def test_precision(self):
+        top = np.array([3, 1, 7])
+        assert precision_at_k(top, {1, 3}) == pytest.approx(2 / 3)
+
+    def test_hit_rate(self):
+        top = np.array([3, 1])
+        assert hit_rate_at_k(top, {1}) == 1.0
+        assert hit_rate_at_k(top, {9}) == 0.0
+
+    def test_ndcg_perfect_ranking_is_one(self):
+        top = np.array([4, 2, 9])
+        assert ndcg_at_k(top, {4, 2, 9}) == pytest.approx(1.0)
+
+    def test_ndcg_hand_computed(self):
+        # hit at ranks 1 and 3 (0-indexed 0, 2), two relevant items
+        top = np.array([4, 0, 9])
+        relevant = {4, 9}
+        dcg = 1 / np.log2(2) + 1 / np.log2(4)
+        idcg = 1 / np.log2(2) + 1 / np.log2(3)
+        assert ndcg_at_k(top, relevant) == pytest.approx(dcg / idcg)
+
+    def test_ndcg_prefers_early_hits(self):
+        early = ndcg_at_k(np.array([1, 8, 9]), {1})
+        late = ndcg_at_k(np.array([8, 9, 1]), {1})
+        assert early > late
+
+    def test_map_hand_computed(self):
+        top = np.array([4, 0, 9])
+        # precisions at hits: 1/1 and 2/3, two relevant
+        expected = (1.0 + 2 / 3) / 2
+        assert average_precision_at_k(top, {4, 9}) == pytest.approx(expected)
+
+    def test_map_zero_without_hits(self):
+        assert average_precision_at_k(np.array([1, 2]), {7}) == 0.0
+
+
+@pytest.fixture()
+def toy_dataset():
+    train = np.array([[0, 0], [1, 1], [2, 2]])
+    test = np.array([[0, 1], [0, 2], [1, 0], [2, 3]])
+    return InteractionDataset(3, 4, train, test)
+
+
+class TestEvaluator:
+    def test_perfect_oracle_scores(self, toy_dataset):
+        scores = np.zeros((3, 4))
+        for u, i in toy_dataset.test_pairs:
+            scores[u, i] = 10.0
+        result = evaluate_scores(scores, toy_dataset, ks=(2,))
+        assert result["recall@2"] == pytest.approx(1.0)
+        assert result["ndcg@2"] == pytest.approx(1.0)
+
+    def test_train_items_masked(self, toy_dataset):
+        # train item scored sky-high must not consume top-k slots
+        scores = np.full((3, 4), -1.0)
+        scores[0, 0] = 100.0  # train positive of user 0
+        scores[0, 1] = 1.0    # actual test positive
+        result = evaluate_scores(scores, toy_dataset, ks=(1,))
+        per_user = result.per_user["recall@1"]
+        user0 = np.where(result.evaluated_users == 0)[0][0]
+        assert per_user[user0] == pytest.approx(0.5)  # hit 1 of 2
+
+    def test_multiple_cutoffs(self, toy_dataset):
+        scores = np.random.default_rng(0).random((3, 4))
+        result = evaluate_scores(scores, toy_dataset, ks=(1, 2, 3))
+        assert set(result.metrics) == {"recall@1", "ndcg@1", "recall@2",
+                                       "ndcg@2", "recall@3", "ndcg@3"}
+        # recall is monotone in k
+        assert result["recall@1"] <= result["recall@2"] <= result["recall@3"]
+
+    def test_metric_selection(self, toy_dataset):
+        scores = np.random.default_rng(0).random((3, 4))
+        result = evaluate_scores(scores, toy_dataset, ks=(2,),
+                                 metric_names=("hit", "map"))
+        assert set(result.metrics) == {"hit@2", "map@2"}
+
+    def test_unknown_metric_rejected(self, toy_dataset):
+        with pytest.raises(ValueError):
+            Evaluator(toy_dataset, metric_names=("auc",))
+
+    def test_users_without_test_items_excluded(self):
+        train = np.array([[0, 0], [1, 1]])
+        test = np.array([[0, 1]])  # user 1 has no test items
+        ds = InteractionDataset(2, 3, train, test)
+        result = evaluate_scores(np.zeros((2, 3)), ds, ks=(1,))
+        np.testing.assert_array_equal(result.evaluated_users, [0])
+
+    def test_batched_equals_unbatched(self, tiny_dataset, rng):
+        scores = rng.normal(size=(tiny_dataset.num_users,
+                                  tiny_dataset.num_items))
+        small = Evaluator(tiny_dataset, ks=(10,), batch_users=7)
+        big = Evaluator(tiny_dataset, ks=(10,), batch_users=10_000)
+
+        class _Fixed:
+            training = False
+            def eval(self): return self
+            def train(self): return self
+            def predict_scores(self, user_ids=None):
+                return scores[np.asarray(user_ids)].copy()
+
+        a = small.evaluate(_Fixed())
+        b = big.evaluate(_Fixed())
+        assert a.metrics == b.metrics
+
+
+class TestGroups:
+    def test_group_ndcg_sums_to_overall(self, tiny_dataset, rng):
+        scores = rng.normal(size=(tiny_dataset.num_users,
+                                  tiny_dataset.num_items))
+
+        class _Fixed:
+            training = False
+            def eval(self): return self
+            def train(self): return self
+            def predict_scores(self, user_ids=None):
+                return scores[np.asarray(user_ids)].copy()
+
+        groups = group_ndcg(_Fixed(), tiny_dataset, k=20, n_groups=10)
+        overall = evaluate_scores(scores, tiny_dataset, ks=(20,))["ndcg@20"]
+        assert groups.sum() == pytest.approx(overall, rel=1e-9)
+
+    def test_fairness_gap_sign(self):
+        biased = np.array([0.0] * 7 + [0.1, 0.2, 0.3])
+        fair = np.full(10, 0.06)
+        assert fairness_gap(biased) > fairness_gap(fair)

@@ -1,0 +1,149 @@
+"""Experiment harness, presets and report printers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (ExperimentSpec, run_experiment,
+                               build_components, collect_negative_scores)
+from repro.experiments import presets, report
+
+
+def _fast_spec(**overrides):
+    defaults = dict(dataset="tiny", model="mf", loss="sl",
+                    loss_kwargs={"tau": 0.2}, dim=8, epochs=3,
+                    batch_size=256, n_negatives=16)
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+class TestHarness:
+    def test_run_returns_metrics_and_model(self):
+        result = run_experiment(_fast_spec())
+        assert "ndcg@20" in result.metrics
+        assert result.model is not None
+        assert len(result.loss_history) == 3
+
+    def test_positive_noise_trains_on_noisy_evaluates_clean(self):
+        result = run_experiment(_fast_spec(positive_noise=0.3))
+        assert result.train_dataset.num_train > result.dataset.num_train
+        np.testing.assert_array_equal(result.train_dataset.test_pairs,
+                                      result.dataset.test_pairs)
+
+    def test_eval_ks_respected(self):
+        result = run_experiment(_fast_spec(eval_ks=(5, 10)))
+        assert set(result.metrics) == {"recall@5", "ndcg@5", "recall@10",
+                                       "ndcg@10"}
+
+    def test_spec_key_stable_and_distinct(self):
+        a, b = _fast_spec(), _fast_spec()
+        assert a.key() == b.key()
+        assert a.key() != _fast_spec(seed=1).key()
+
+    def test_extra_analysis_losses_resolvable(self):
+        result = run_experiment(_fast_spec(loss="sl-novar",
+                                           loss_kwargs={"tau": 0.2}))
+        assert "ndcg@20" in result.metrics
+
+    def test_build_components(self):
+        clean, train_ds, model, loss = build_components(
+            _fast_spec(positive_noise=0.2))
+        assert clean is not train_ds
+        assert model.num_users == clean.num_users
+
+    def test_collect_negative_scores_shape(self):
+        result = run_experiment(_fast_spec())
+        scores = collect_negative_scores(result, n_users=10, n_negatives=20)
+        assert scores.shape == (10, 20)
+        assert np.all(np.isfinite(scores))
+
+
+class TestPresets:
+    def test_fig1_grid_shape(self):
+        specs = presets.fig1_specs()
+        assert len(specs) == 2 * 2 * 4
+        assert all(s.loss in ("bpr", "mse", "bce", "sl")
+                   for s in specs.values())
+
+    def test_table2_contains_all_rows(self):
+        specs = presets.table2_specs()
+        labels = {label for _, label in specs}
+        for expected in ("MF+BPR", "NGCF+SL", "LGN+BSL", "CML", "ENMF",
+                         "SGL", "SimGCL", "LightGCL"):
+            assert expected in labels
+
+    def test_table3_variants(self):
+        specs = presets.table3_specs()
+        variants = {v for _, _, v in specs}
+        assert variants == {"base", "sl", "bsl"}
+
+    def test_fig3_sweep_axes(self):
+        specs = presets.fig3_specs()
+        noises = sorted({r for r, _ in specs})
+        assert noises == [0.0, 0.5, 1.0, 2.0, 3.0]
+        for (rnoise, tau), spec in specs.items():
+            assert spec.rnoise == rnoise
+            assert spec.loss_kwargs["tau"] == tau
+
+    def test_table4_bsl_ratio_grows_with_noise(self):
+        specs = presets.table4_specs()
+        low = specs[("yelp2018-small", 0.1, "bsl")].loss_kwargs
+        high = specs[("yelp2018-small", 0.4, "bsl")].loss_kwargs
+        assert high["tau1"] / high["tau2"] > low["tau1"] / low["tau2"]
+
+    def test_fig13_ratio_axis(self):
+        specs = presets.fig13_specs()
+        ratios = sorted({r for _, _, r in specs})
+        assert ratios == [0.5, 0.8, 1.0, 1.2, 1.4, 2.0]
+
+    def test_fig8_grid_cells(self):
+        specs = presets.fig8_specs()
+        for (_, loss, rnoise), candidates in specs.items():
+            assert isinstance(candidates, list) and candidates
+            for spec in candidates:
+                assert spec.rnoise == rnoise
+                assert spec.loss == loss
+        # SL/BSL cells carry a tau grid (Corollary III.1 retuning).
+        sl_cell = specs[("yelp2018-small", "sl", 10.0)]
+        assert len(sl_cell) >= 2
+
+    def test_fig9_negative_counts(self):
+        specs = presets.fig9_specs()
+        for (_, _, n), spec in specs.items():
+            assert spec.n_negatives == n
+
+    def test_fig12_dims(self):
+        specs = presets.fig12_specs()
+        dims = sorted({d for _, _, d in specs})
+        assert dims == [32, 64, 128]
+
+    def test_tuned_loss_kwargs(self):
+        clean = presets.tuned_loss_kwargs("bsl", 0.0)
+        noisy = presets.tuned_loss_kwargs("bsl", 0.4)
+        # ratio > 1 even clean (the presets carry intrinsic noise) and
+        # grows with injected noise.
+        assert clean["tau1"] > clean["tau2"]
+        assert noisy["tau1"] > clean["tau1"]
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = report.format_table(["name", "value"],
+                                   [["sl", 0.123456], ["bsl", 0.2]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "0.1235" in text
+        assert all(len(line) == len(lines[0]) for line in lines[:1])
+
+    def test_print_series(self, capsys):
+        report.print_series("SL", [0.1, 0.2], [0.5, 0.6])
+        out = capsys.readouterr().out
+        assert "(0.1000, 0.5000)" in out
+
+    def test_relative_gain(self):
+        assert report.relative_gain(1.15, 1.0) == pytest.approx(15.0)
+        assert report.relative_gain(0.5, 0.0) == float("inf")
+
+    def test_print_table(self, capsys):
+        report.print_table("T", ["a"], [[1.0]])
+        out = capsys.readouterr().out
+        assert "T" in out and "1.0000" in out

@@ -1,0 +1,118 @@
+"""Hypothesis property tests on the loss family."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.losses import (BPRLoss, BSLLoss, MSELoss, SoftmaxLoss, get_loss)
+from repro.tensor import Tensor
+
+_score = st.floats(-1.0, 1.0, allow_nan=False)
+
+
+def _batch_strategy(max_b=5, max_m=6):
+    return st.tuples(
+        st.integers(1, max_b), st.integers(1, max_m), st.randoms()
+    ).map(lambda t: _make_batch(*t))
+
+
+def _make_batch(b, m, rnd):
+    rng = np.random.default_rng(rnd.randint(0, 2 ** 31))
+    return rng.uniform(-1, 1, size=b), rng.uniform(-1, 1, size=(b, m))
+
+
+@settings(max_examples=40, deadline=None)
+@given(_batch_strategy())
+def test_sl_decreases_when_positive_scores_rise(batch):
+    pos, neg = batch
+    loss = SoftmaxLoss(tau=0.3)
+    base = loss(Tensor(pos), Tensor(neg)).item()
+    better = loss(Tensor(pos + 0.1), Tensor(neg)).item()
+    assert better < base
+
+
+@settings(max_examples=40, deadline=None)
+@given(_batch_strategy())
+def test_sl_increases_when_negative_scores_rise(batch):
+    pos, neg = batch
+    loss = SoftmaxLoss(tau=0.3)
+    base = loss(Tensor(pos), Tensor(neg)).item()
+    worse = loss(Tensor(pos), Tensor(neg + 0.1)).item()
+    assert worse > base
+
+
+@settings(max_examples=40, deadline=None)
+@given(_batch_strategy())
+def test_bpr_invariant_to_negative_permutation(batch):
+    pos, neg = batch
+    loss = BPRLoss()
+    base = loss(Tensor(pos), Tensor(neg)).item()
+    rng = np.random.default_rng(0)
+    shuffled = neg[:, rng.permutation(neg.shape[1])]
+    assert loss(Tensor(pos), Tensor(shuffled)).item() == pytest.approx(base)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_batch_strategy())
+def test_sl_invariant_to_negative_permutation(batch):
+    pos, neg = batch
+    loss = SoftmaxLoss(tau=0.2)
+    base = loss(Tensor(pos), Tensor(neg)).item()
+    rng = np.random.default_rng(1)
+    shuffled = neg[:, rng.permutation(neg.shape[1])]
+    assert loss(Tensor(pos), Tensor(shuffled)).item() == pytest.approx(base)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_batch_strategy(), st.floats(0.05, 1.0))
+def test_bsl_mean_pooling_matches_sl_shifted(batch, tau):
+    """BSL(τ, τ, mean) == SL(τ) - log(m) for every batch."""
+    pos, neg = batch
+    m = neg.shape[1]
+    sl = SoftmaxLoss(tau=tau)(Tensor(pos), Tensor(neg)).item()
+    bsl = BSLLoss(tau1=tau, tau2=tau, pooling="mean")(
+        Tensor(pos), Tensor(neg)).item()
+    assert bsl == pytest.approx(sl - np.log(m), rel=1e-6, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_batch_strategy())
+def test_all_losses_finite_on_bounded_scores(batch):
+    pos, neg = batch
+    for name in ("bpr", "bce", "mse", "sl", "bsl", "ccl", "hinge"):
+        value = get_loss(name)(Tensor(pos), Tensor(neg)).item()
+        assert np.isfinite(value), name
+
+
+@settings(max_examples=40, deadline=None)
+@given(_batch_strategy())
+def test_mse_nonnegative(batch):
+    pos, neg = batch
+    assert MSELoss()(Tensor(pos), Tensor(neg)).item() >= 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(_batch_strategy())
+def test_gradients_finite_for_all_losses(batch):
+    pos_data, neg_data = batch
+    for name in ("bpr", "bce", "mse", "sl", "bsl"):
+        pos = Tensor(pos_data, requires_grad=True)
+        neg = Tensor(neg_data, requires_grad=True)
+        get_loss(name)(pos, neg).backward()
+        assert np.all(np.isfinite(pos.grad)), name
+        assert np.all(np.isfinite(neg.grad)), name
+
+
+@settings(max_examples=30, deadline=None)
+@given(_batch_strategy(), st.floats(0.1, 0.9), st.floats(1.05, 2.0))
+def test_bsl_ratio_weakens_positive_gradient(batch, tau2, ratio):
+    """Raising τ1 (ratio > 1) must shrink the positive-score gradient."""
+    pos_data, neg_data = batch
+    grads = []
+    for tau1 in (tau2, tau2 * ratio):
+        pos = Tensor(pos_data, requires_grad=True)
+        neg = Tensor(neg_data, requires_grad=True)
+        BSLLoss(tau1=tau1, tau2=tau2, pooling="mean")(pos, neg).backward()
+        grads.append(np.abs(pos.grad).mean())
+    assert grads[1] < grads[0] + 1e-12

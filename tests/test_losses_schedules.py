@@ -1,0 +1,88 @@
+"""Temperature schedules and scheduled losses."""
+
+import numpy as np
+import pytest
+
+from repro.losses import SoftmaxLoss
+from repro.losses.schedules import (ConstantSchedule, CosineSchedule,
+                                    LinearSchedule, ScheduledBSLLoss,
+                                    ScheduledSoftmaxLoss)
+from repro.tensor import Tensor
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = ConstantSchedule(0.3)
+        assert s(0.0) == s(0.5) == s(1.0) == 0.3
+
+    def test_linear_endpoints_and_midpoint(self):
+        s = LinearSchedule(0.2, 0.6)
+        assert s(0.0) == pytest.approx(0.2)
+        assert s(1.0) == pytest.approx(0.6)
+        assert s(0.5) == pytest.approx(0.4)
+
+    def test_cosine_endpoints_and_monotone(self):
+        s = CosineSchedule(0.5, 0.1)
+        assert s(0.0) == pytest.approx(0.5)
+        assert s(1.0) == pytest.approx(0.1)
+        values = [s(t) for t in np.linspace(0, 1, 11)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_progress_validation(self):
+        with pytest.raises(ValueError):
+            LinearSchedule(0.1, 0.2)(1.5)
+
+    def test_positive_temperature_validation(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.0)
+        with pytest.raises(ValueError):
+            CosineSchedule(0.1, -0.1)
+
+
+class TestScheduledLosses:
+    def _batch(self):
+        rng = np.random.default_rng(0)
+        return (Tensor(rng.normal(size=4) * 0.5),
+                Tensor(rng.normal(size=(4, 8)) * 0.5))
+
+    def test_set_epoch_moves_tau(self):
+        loss = ScheduledSoftmaxLoss(LinearSchedule(0.2, 0.6))
+        loss.set_epoch(1, 11)
+        assert loss.current_tau == pytest.approx(0.2)
+        loss.set_epoch(11, 11)
+        assert loss.current_tau == pytest.approx(0.6)
+
+    def test_matches_plain_sl_at_fixed_tau(self):
+        pos, neg = self._batch()
+        scheduled = ScheduledSoftmaxLoss(ConstantSchedule(0.25))
+        scheduled.set_epoch(3, 10)
+        plain = SoftmaxLoss(tau=0.25)
+        assert scheduled(pos, neg).item() == pytest.approx(
+            plain(pos, neg).item())
+
+    def test_bsl_schedules_both_sides(self):
+        loss = ScheduledBSLLoss(LinearSchedule(0.2, 0.4),
+                                ConstantSchedule(0.2))
+        loss.set_epoch(1, 2)
+        assert loss.current_taus == (pytest.approx(0.2),
+                                     pytest.approx(0.2))
+        loss.set_epoch(2, 2)
+        t1, t2 = loss.current_taus
+        assert t1 == pytest.approx(0.4)
+        assert t2 == pytest.approx(0.2)
+
+    def test_trainer_invokes_schedule(self, tiny_dataset):
+        from repro.models import MF
+        from repro.train import TrainConfig, train_model
+        loss = ScheduledSoftmaxLoss(LinearSchedule(0.2, 0.8))
+        model = MF(tiny_dataset.num_users, tiny_dataset.num_items, dim=8,
+                   rng=0)
+        train_model(model, loss, tiny_dataset,
+                    TrainConfig(epochs=4, batch_size=256, n_negatives=8,
+                                learning_rate=5e-2, seed=0))
+        assert loss.current_tau == pytest.approx(0.8)
+
+    def test_total_epochs_validation(self):
+        loss = ScheduledSoftmaxLoss(ConstantSchedule(0.2))
+        with pytest.raises(ValueError):
+            loss.set_epoch(1, 0)

@@ -1,0 +1,186 @@
+"""SL and BSL: closed-form values, identities, gradient structure."""
+
+import numpy as np
+import pytest
+from scipy.special import logsumexp as lse, softmax as np_softmax
+
+from repro.losses import SoftmaxLoss, BSLLoss, InfoNCELoss
+from repro.tensor import Tensor
+
+
+def _scores(pos, neg):
+    return (Tensor(np.asarray(pos, dtype=float), requires_grad=True),
+            Tensor(np.asarray(neg, dtype=float), requires_grad=True))
+
+
+class TestSoftmaxLoss:
+    def test_closed_form_value(self):
+        p = np.array([0.8, 0.2])
+        n = np.array([[0.1, -0.3], [0.5, 0.0]])
+        tau = 0.2
+        pos, neg = _scores(p, n)
+        got = SoftmaxLoss(tau=tau)(pos, neg).item()
+        expected = np.mean(-p / tau + lse(n / tau, axis=1))
+        assert got == pytest.approx(expected, rel=1e-10)
+
+    def test_include_positive_in_denominator(self):
+        p, n = np.array([0.8]), np.array([[0.1, -0.3]])
+        tau = 0.2
+        pos, neg = _scores(p, n)
+        got = SoftmaxLoss(tau=tau, include_positive=True)(pos, neg).item()
+        logits = np.concatenate([p[:, None], n], axis=1) / tau
+        expected = float(np.mean(-p / tau + lse(logits, axis=1)))
+        assert got == pytest.approx(expected, rel=1e-10)
+
+    def test_include_positive_increases_loss(self):
+        pos1, neg1 = _scores([0.8], [[0.1, -0.3]])
+        pos2, neg2 = _scores([0.8], [[0.1, -0.3]])
+        without = SoftmaxLoss(tau=0.2)(pos1, neg1).item()
+        with_pos = SoftmaxLoss(tau=0.2, include_positive=True)(pos2, neg2).item()
+        assert with_pos > without  # denominator only grows
+
+    def test_scale_by_temperature(self):
+        pos1, neg1 = _scores([0.8], [[0.1]])
+        pos2, neg2 = _scores([0.8], [[0.1]])
+        base = SoftmaxLoss(tau=0.2)(pos1, neg1).item()
+        scaled = SoftmaxLoss(tau=0.2, scale_by_temperature=True)(pos2, neg2)
+        assert scaled.item() == pytest.approx(0.2 * base, rel=1e-10)
+
+    def test_negative_gradient_is_softmax_weighted(self):
+        """The DRO worst-case weights ARE SL's negative gradients (Lemma 1)."""
+        tau = 0.15
+        n = np.array([[0.4, 0.1, -0.2]])
+        pos, neg = _scores([0.5], n)
+        SoftmaxLoss(tau=tau)(pos, neg).backward()
+        weights = np_softmax(n[0] / tau)
+        np.testing.assert_allclose(neg.grad[0], weights / tau, rtol=1e-9)
+
+    def test_hard_negatives_dominate_at_low_tau(self):
+        n = np.array([[0.9, 0.0, -0.9]])
+        pos, neg = _scores([0.5], n)
+        SoftmaxLoss(tau=0.05)(pos, neg).backward()
+        assert neg.grad[0, 0] > 100 * neg.grad[0, 1]
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(ValueError):
+            SoftmaxLoss(tau=0.0)
+        with pytest.raises(ValueError):
+            SoftmaxLoss(tau=-1.0)
+
+    def test_invariant_to_duplicating_negative_set(self):
+        """logsumexp shifts by log2 when duplicating: loss shifts equally
+        across rows, so gradients on scores are preserved."""
+        pos1, neg1 = _scores([0.5], [[0.2, -0.1]])
+        pos2, neg2 = _scores([0.5], [[0.2, -0.1, 0.2, -0.1]])
+        l1 = SoftmaxLoss(tau=0.2)(pos1, neg1)
+        l2 = SoftmaxLoss(tau=0.2)(pos2, neg2)
+        assert l2.item() == pytest.approx(l1.item() + 0.2 / 0.2 * 0.0
+                                          + np.log(2), rel=1e-9)
+
+
+class TestBSLLoss:
+    def test_equals_sl_when_taus_match_mean_pooling(self):
+        rng = np.random.default_rng(0)
+        p, n = rng.normal(size=8) * 0.5, rng.normal(size=(8, 16)) * 0.5
+        tau = 0.2
+        pos1, neg1 = _scores(p, n)
+        pos2, neg2 = _scores(p, n)
+        sl = SoftmaxLoss(tau=tau)(pos1, neg1).item()
+        bsl = BSLLoss(tau1=tau, tau2=tau, pooling="mean")(pos2, neg2).item()
+        # Both are mean over rows of (-pos + tau*lse)/tau up to the
+        # logmeanexp-vs-logsumexp constant log(m)/1.
+        assert bsl == pytest.approx(sl - np.log(16), rel=1e-9)
+
+    def test_equals_sl_gradients_when_taus_match(self):
+        rng = np.random.default_rng(1)
+        p, n = rng.normal(size=4) * 0.5, rng.normal(size=(4, 8)) * 0.5
+        tau = 0.25
+        pos1, neg1 = _scores(p, n)
+        pos2, neg2 = _scores(p, n)
+        SoftmaxLoss(tau=tau)(pos1, neg1).backward()
+        BSLLoss(tau1=tau, tau2=tau, pooling="mean")(pos2, neg2).backward()
+        np.testing.assert_allclose(pos1.grad, pos2.grad, rtol=1e-9)
+        np.testing.assert_allclose(neg1.grad, neg2.grad, rtol=1e-9)
+
+    def test_pseudocode_closed_form(self):
+        """Matches Algorithm 1: -log(exp(pos/t1) / (sum exp(neg/t2))^(t1/t2))."""
+        p = np.array([0.6])
+        n = np.array([[0.2, -0.4, 0.1]])
+        t1, t2 = 0.3, 0.2
+        pos, neg = _scores(p, n)
+        got = BSLLoss(tau1=t1, tau2=t2, pooling="mean")(pos, neg).item()
+        # our negative part uses logmeanexp; the pseudocode uses sum.
+        expected = float(-p[0] / t1
+                         + (t1 / t2) * (lse(n[0] / t2) - np.log(3)))
+        assert got == pytest.approx(expected, rel=1e-9)
+
+    def test_log_mean_exp_reduces_to_sl_single_row(self):
+        p, n = np.array([0.6]), np.array([[0.2, -0.4]])
+        tau = 0.2
+        pos1, neg1 = _scores(p, n)
+        pos2, neg2 = _scores(p, n)
+        sl_row = (-p[0] / tau + lse(n[0] / tau) - np.log(2))
+        bsl = BSLLoss(tau1=tau, tau2=tau, pooling="log_mean_exp")(
+            pos2, neg2).item()
+        assert bsl == pytest.approx(tau * sl_row, rel=1e-8)
+
+    def test_log_mean_exp_downweights_low_margin_rows(self):
+        """Gradient magnitude on a low-score (noisy) positive must be
+        smaller than on a high-score positive under strict pooling."""
+        p = np.array([0.9, -0.5])   # row 1 looks like a false positive
+        n = np.zeros((2, 4))
+        pos, neg = _scores(p, n)
+        BSLLoss(tau1=0.2, tau2=0.2, pooling="log_mean_exp")(pos, neg).backward()
+        assert abs(pos.grad[1]) < abs(pos.grad[0])
+
+    def test_mean_pooling_weights_rows_equally(self):
+        p = np.array([0.9, -0.5])
+        n = np.zeros((2, 4))
+        pos, neg = _scores(p, n)
+        BSLLoss(tau1=0.2, tau2=0.2, pooling="mean")(pos, neg).backward()
+        assert pos.grad[0] == pytest.approx(pos.grad[1])
+
+    def test_ratio_property(self):
+        assert BSLLoss(tau1=0.3, tau2=0.2).ratio == pytest.approx(1.5)
+
+    def test_ratio_scales_negative_part(self):
+        p, n = np.array([0.0]), np.array([[0.5, -0.5]])
+        pos1, neg1 = _scores(p, n)
+        pos2, neg2 = _scores(p, n)
+        BSLLoss(tau1=0.2, tau2=0.2, pooling="mean")(pos1, neg1).backward()
+        BSLLoss(tau1=0.4, tau2=0.2, pooling="mean")(pos2, neg2).backward()
+        # positive pull halves when tau1 doubles
+        assert pos2.grad[0] == pytest.approx(pos1.grad[0] / 2, rel=1e-9)
+        # negative push doubles relative weight (tau1/tau2 factor)
+        assert neg2.grad[0, 0] == pytest.approx(2 * neg1.grad[0, 0], rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BSLLoss(tau1=0.0, tau2=0.1)
+        with pytest.raises(ValueError):
+            BSLLoss(tau1=0.1, tau2=-0.1)
+        with pytest.raises(ValueError):
+            BSLLoss(pooling="median")
+
+
+class TestInfoNCE:
+    def test_identical_views_minimize(self):
+        rng = np.random.default_rng(0)
+        z = rng.normal(size=(6, 4))
+        same = InfoNCELoss(tau=0.2)(Tensor(z), Tensor(z)).item()
+        other = InfoNCELoss(tau=0.2)(Tensor(z),
+                                     Tensor(rng.normal(size=(6, 4)))).item()
+        assert same < other
+
+    def test_rejects_mismatched_views(self):
+        with pytest.raises(ValueError):
+            InfoNCELoss()(Tensor(np.zeros((3, 2))), Tensor(np.zeros((4, 2))))
+
+    def test_loss_positive(self):
+        rng = np.random.default_rng(0)
+        z1, z2 = rng.normal(size=(5, 3)), rng.normal(size=(5, 3))
+        assert InfoNCELoss()(Tensor(z1), Tensor(z2)).item() > 0
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(ValueError):
+            InfoNCELoss(tau=0.0)

@@ -1,0 +1,141 @@
+"""Embedding lookups and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Embedding, Adam, SGD, Parameter
+from repro.nn.init import xavier_uniform, xavier_normal, normal
+from repro.tensor import Tensor
+
+
+class TestEmbedding:
+    def test_lookup_values(self):
+        emb = Embedding(5, 3, rng=0)
+        idx = np.array([0, 4, 2])
+        np.testing.assert_allclose(emb(idx).data, emb.weight.data[idx])
+
+    def test_2d_index_lookup(self):
+        emb = Embedding(5, 3, rng=0)
+        idx = np.array([[0, 1], [2, 3]])
+        assert emb(idx).shape == (2, 2, 3)
+
+    def test_gradient_accumulates_for_repeats(self):
+        emb = Embedding(5, 3, rng=0)
+        out = emb(np.array([1, 1, 1]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[1], np.full(3, 3.0))
+        np.testing.assert_allclose(emb.weight.grad[0], np.zeros(3))
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            Embedding(0, 3)
+        with pytest.raises(ValueError):
+            Embedding(3, 0)
+
+    def test_deterministic_under_seed(self):
+        a = Embedding(10, 4, rng=42).weight.data
+        b = Embedding(10, 4, rng=42).weight.data
+        np.testing.assert_array_equal(a, b)
+
+
+class TestInitializers:
+    def test_xavier_uniform_bounds(self):
+        w = xavier_uniform((100, 50), rng=0)
+        bound = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= bound)
+        assert w.std() > bound / 4  # not degenerate
+
+    def test_xavier_normal_std(self):
+        w = xavier_normal((200, 100), rng=0)
+        expected = np.sqrt(2.0 / 300)
+        assert abs(w.std() - expected) / expected < 0.1
+
+    def test_plain_normal(self):
+        w = normal((500, 20), std=0.3, rng=0)
+        assert abs(w.std() - 0.3) < 0.02
+
+    def test_1d_shape_supported(self):
+        assert xavier_uniform((8,), rng=0).shape == (8,)
+
+
+def _quadratic_param(start):
+    return Parameter(np.asarray(start, dtype=np.float64))
+
+
+def _loss_of(p):
+    return ((p - 3.0) ** 2).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = _quadratic_param([0.0])
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            _loss_of(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [3.0], atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = _quadratic_param([0.0])
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                _loss_of(p).backward()
+                opt.step()
+            return abs(p.data[0] - 3.0)
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = _quadratic_param([1.0])
+        opt = SGD([p], lr=0.1, weight_decay=10.0)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()  # zero data gradient
+        opt.step()
+        assert abs(p.data[0]) < 1.0
+
+    def test_skips_params_without_grad(self):
+        p = _quadratic_param([1.0])
+        SGD([p], lr=0.1).step()  # no grad set: no crash, no change
+        np.testing.assert_allclose(p.data, [1.0])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = _quadratic_param([0.0, 10.0])
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            _loss_of(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [3.0, 3.0], atol=1e-2)
+
+    def test_first_step_size_is_lr(self):
+        # With bias correction the very first Adam step ~= lr * sign(grad).
+        p = _quadratic_param([0.0])
+        opt = Adam([p], lr=0.5)
+        opt.zero_grad()
+        _loss_of(p).backward()
+        opt.step()
+        np.testing.assert_allclose(p.data, [0.5], atol=1e-6)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            Adam([_quadratic_param([0.0])], lr=0.0)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_independent_state_per_param(self):
+        p1 = _quadratic_param([0.0])
+        p2 = _quadratic_param([100.0])
+        opt = Adam([p1, p2], lr=0.3)
+        for _ in range(50):
+            opt.zero_grad()
+            (_loss_of(p1) + _loss_of(p2)).backward()
+            opt.step()
+        # Both should move toward 3 despite very different gradient scales.
+        assert abs(p1.data[0] - 3.0) < 2.0
+        assert p2.data[0] < 100.0

@@ -1,0 +1,139 @@
+"""Module/Parameter containers: discovery, state dicts, train/eval mode."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Module, Parameter, Embedding, Linear, Dropout
+
+
+class _ToyModel(Module):
+    def __init__(self):
+        super().__init__()
+        self.emb = Embedding(4, 3, rng=0)
+        self.head = Linear(3, 2, rng=1)
+        self.scale = Parameter([1.0])
+        self.blocks = [Linear(2, 2, rng=2), Linear(2, 2, rng=3)]
+
+
+class TestParameterDiscovery:
+    def test_named_parameters_cover_tree(self):
+        model = _ToyModel()
+        names = {name for name, _ in model.named_parameters()}
+        assert "emb.weight" in names
+        assert "head.weight" in names
+        assert "head.bias" in names
+        assert "scale" in names
+        assert "blocks.0.weight" in names
+        assert "blocks.1.bias" in names
+
+    def test_parameters_are_trainable_leaves(self):
+        model = _ToyModel()
+        assert all(p.requires_grad for p in model.parameters())
+
+    def test_num_parameters(self):
+        model = _ToyModel()
+        expected = 4 * 3 + (3 * 2 + 2) + 1 + 2 * (2 * 2 + 2)
+        assert model.num_parameters() == expected
+
+    def test_zero_grad_clears_all(self):
+        model = _ToyModel()
+        for p in model.parameters():
+            p.grad = np.ones_like(p.data)
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        model = _ToyModel()
+        state = model.state_dict()
+        for p in model.parameters():
+            p.data += 1.0
+        model.load_state_dict(state)
+        for name, p in model.named_parameters():
+            np.testing.assert_allclose(p.data, state[name])
+
+    def test_state_dict_is_a_copy(self):
+        model = _ToyModel()
+        state = model.state_dict()
+        model.emb.weight.data += 5.0
+        assert not np.allclose(state["emb.weight"], model.emb.weight.data)
+
+    def test_missing_key_rejected(self):
+        model = _ToyModel()
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_rejected(self):
+        model = _ToyModel()
+        state = model.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        model = _ToyModel()
+        state = model.state_dict()
+        state["scale"] = np.zeros(7)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestTrainEvalMode:
+    def test_mode_propagates_to_children(self):
+        model = _ToyModel()
+        assert model.training
+        model.eval()
+        assert not model.training
+        assert not model.head.training
+        model.train()
+        assert model.blocks[0].training
+
+    def test_dropout_respects_mode(self):
+        drop = Dropout(0.5, rng=0)
+        x = np.ones((100, 10))
+        from repro.tensor import Tensor
+        train_out = drop(Tensor(x)).data
+        assert (train_out == 0).any()
+        drop.eval()
+        eval_out = drop(Tensor(x)).data
+        np.testing.assert_allclose(eval_out, x)
+
+    def test_dropout_inverted_scaling(self):
+        drop = Dropout(0.4, rng=0)
+        from repro.tensor import Tensor
+        out = drop(Tensor(np.ones((2000, 50)))).data
+        # E[out] == 1 under inverted dropout
+        assert abs(out.mean() - 1.0) < 0.02
+
+    def test_dropout_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+class TestLinear:
+    def test_forward_shape_and_value(self):
+        layer = Linear(3, 2, rng=0)
+        from repro.tensor import Tensor
+        x = np.ones((5, 3))
+        out = layer(Tensor(x))
+        assert out.shape == (5, 2)
+        np.testing.assert_allclose(
+            out.data, x @ layer.weight.data + layer.bias.data)
+
+    def test_no_bias_option(self):
+        layer = Linear(3, 2, bias=False, rng=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients_flow(self):
+        layer = Linear(2, 2, rng=0)
+        from repro.tensor import Tensor
+        out = layer(Tensor(np.ones((3, 2))))
+        (out * out).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None

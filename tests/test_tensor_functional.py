@@ -1,0 +1,169 @@
+"""Composite functional ops: values, gradients, numerical stability."""
+
+import numpy as np
+import pytest
+from scipy.special import expit, logsumexp as scipy_lse
+
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+from tests.helpers import check_gradient
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestSigmoidFamily:
+    def test_sigmoid_matches_scipy(self, rng):
+        x = rng.normal(size=(3, 4)) * 3
+        np.testing.assert_allclose(F.sigmoid(Tensor(x)).data, expit(x),
+                                   atol=1e-12)
+
+    def test_sigmoid_gradient(self, rng):
+        check_gradient(lambda t: F.sigmoid(t).sum(),
+                       lambda x: expit(x).sum(), (3, 4), rng)
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = F.sigmoid(Tensor([-800.0, 800.0])).data
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+    def test_softplus_matches_logaddexp(self, rng):
+        x = rng.normal(size=6) * 5
+        np.testing.assert_allclose(F.softplus(Tensor(x)).data,
+                                   np.logaddexp(0, x), atol=1e-12)
+
+    def test_softplus_gradient_is_sigmoid(self, rng):
+        x = Tensor(rng.normal(size=5), requires_grad=True)
+        F.softplus(x).sum().backward()
+        np.testing.assert_allclose(x.grad, expit(x.data), atol=1e-12)
+
+    def test_softplus_no_overflow(self):
+        out = F.softplus(Tensor([1000.0])).data
+        np.testing.assert_allclose(out, [1000.0])
+
+    def test_log_sigmoid_stable_and_correct(self, rng):
+        x = rng.normal(size=5)
+        np.testing.assert_allclose(F.log_sigmoid(Tensor(x)).data,
+                                   np.log(expit(x)), atol=1e-10)
+        assert np.isfinite(F.log_sigmoid(Tensor([-1000.0])).data).all()
+
+
+class TestReluFamily:
+    def test_relu_values(self):
+        np.testing.assert_allclose(
+            F.relu(Tensor([-1.0, 0.0, 2.0])).data, [0.0, 0.0, 2.0])
+
+    def test_relu_gradient(self):
+        x = Tensor([-1.0, 2.0], requires_grad=True)
+        F.relu(x).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0])
+
+    def test_leaky_relu_values(self):
+        out = F.leaky_relu(Tensor([-2.0, 3.0]), negative_slope=0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 3.0])
+
+    def test_leaky_relu_gradient(self, rng):
+        check_gradient(
+            lambda t: F.leaky_relu(t, 0.2).sum(),
+            lambda x: np.where(x > 0, x, 0.2 * x).sum(), (4,), rng,
+            low=0.1, high=2.0)
+
+
+class TestLogSumExp:
+    def test_matches_scipy(self, rng):
+        x = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(
+            F.logsumexp(Tensor(x), axis=1).data, scipy_lse(x, axis=1),
+            atol=1e-12)
+
+    def test_full_reduction(self, rng):
+        x = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(F.logsumexp(Tensor(x)).item(),
+                                   scipy_lse(x), atol=1e-12)
+
+    def test_keepdims(self, rng):
+        x = rng.normal(size=(3, 5))
+        out = F.logsumexp(Tensor(x), axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+
+    def test_gradient_is_softmax(self, rng):
+        x = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        F.logsumexp(x, axis=1).sum().backward()
+        expected = np.exp(x.data - scipy_lse(x.data, axis=1, keepdims=True))
+        np.testing.assert_allclose(x.grad, expected, atol=1e-12)
+
+    def test_large_values_stable(self):
+        x = Tensor([1000.0, 1000.0])
+        np.testing.assert_allclose(F.logsumexp(x).item(),
+                                   1000.0 + np.log(2), atol=1e-9)
+
+    def test_logmeanexp_shift(self, rng):
+        x = rng.normal(size=(2, 8))
+        np.testing.assert_allclose(
+            F.logmeanexp(Tensor(x), axis=1).data,
+            scipy_lse(x, axis=1) - np.log(8), atol=1e-12)
+
+    def test_logmeanexp_of_constant_is_constant(self):
+        x = Tensor(np.full((1, 16), 3.3))
+        np.testing.assert_allclose(F.logmeanexp(x, axis=1).data, [3.3],
+                                   atol=1e-12)
+
+
+class TestSoftmaxNormalizeVariance:
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(4, 6)) * 3
+        out = F.softmax(Tensor(x), axis=1).data
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(4), atol=1e-12)
+
+    def test_softmax_matches_direct(self, rng):
+        x = rng.normal(size=(2, 3))
+        e = np.exp(x - x.max(axis=1, keepdims=True))
+        np.testing.assert_allclose(F.softmax(Tensor(x), axis=1).data,
+                                   e / e.sum(axis=1, keepdims=True),
+                                   atol=1e-12)
+
+    def test_l2_normalize_unit_rows(self, rng):
+        x = rng.normal(size=(5, 3))
+        out = F.l2_normalize(Tensor(x), axis=1).data
+        np.testing.assert_allclose(np.linalg.norm(out, axis=1), np.ones(5),
+                                   atol=1e-9)
+
+    def test_l2_normalize_gradient(self, rng):
+        check_gradient(
+            lambda t: (F.l2_normalize(t, axis=1)[:, 0]).sum(),
+            lambda x: (x / np.linalg.norm(x, axis=1, keepdims=True))[:, 0].sum(),
+            (3, 4), rng, low=0.5, high=2.0, atol=1e-4)
+
+    def test_l2_normalize_zero_row_safe(self):
+        out = F.l2_normalize(Tensor([[0.0, 0.0]]), axis=1).data
+        assert np.all(np.isfinite(out))
+
+    def test_variance_matches_numpy(self, rng):
+        x = rng.normal(size=(3, 7))
+        np.testing.assert_allclose(F.variance(Tensor(x), axis=1).data,
+                                   x.var(axis=1), atol=1e-12)
+
+    def test_variance_gradient(self, rng):
+        check_gradient(lambda t: F.variance(t).sum(),
+                       lambda x: x.var(), (6,), rng)
+
+
+class TestScoringHelpers:
+    def test_inner_rows(self, rng):
+        a, b = rng.normal(size=(4, 3)), rng.normal(size=(4, 3))
+        np.testing.assert_allclose(F.inner_rows(Tensor(a), Tensor(b)).data,
+                                   (a * b).sum(axis=1), atol=1e-12)
+
+    def test_pairwise_scores(self, rng):
+        u, i = rng.normal(size=(3, 2)), rng.normal(size=(5, 2))
+        np.testing.assert_allclose(
+            F.pairwise_scores(Tensor(u), Tensor(i)).data, u @ i.T, atol=1e-12)
+
+    def test_euclidean_distance_rows(self, rng):
+        a, b = rng.normal(size=(4, 3)), rng.normal(size=(4, 3))
+        np.testing.assert_allclose(
+            F.euclidean_distance_rows(Tensor(a), Tensor(b)).data,
+            np.linalg.norm(a - b, axis=1), atol=1e-6)

@@ -1,0 +1,265 @@
+"""Finite-difference gradient checks for every primitive op."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, ops
+
+from tests.helpers import check_gradient, numeric_gradient
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestElementwiseGrads:
+    def test_add(self, rng):
+        check_gradient(lambda t: (t + 3.0).sum(), lambda x: (x + 3.0).sum(),
+                       (3, 4), rng)
+
+    def test_sub(self, rng):
+        check_gradient(lambda t: (5.0 - t).sum(), lambda x: (5.0 - x).sum(),
+                       (3, 4), rng)
+
+    def test_mul(self, rng):
+        check_gradient(lambda t: (t * t).sum(), lambda x: (x * x).sum(),
+                       (3, 4), rng)
+
+    def test_div(self, rng):
+        check_gradient(lambda t: (1.0 / t).sum(), lambda x: (1.0 / x).sum(),
+                       (3, 4), rng, low=0.5, high=2.0)
+
+    def test_neg(self, rng):
+        check_gradient(lambda t: (-t).sum(), lambda x: (-x).sum(), (5,), rng)
+
+    def test_power(self, rng):
+        check_gradient(lambda t: (t ** 3).sum(), lambda x: (x ** 3).sum(),
+                       (4,), rng, low=0.5, high=2.0)
+
+    def test_exp(self, rng):
+        check_gradient(lambda t: t.exp().sum(), lambda x: np.exp(x).sum(),
+                       (3, 3), rng)
+
+    def test_log(self, rng):
+        check_gradient(lambda t: t.log().sum(), lambda x: np.log(x).sum(),
+                       (4,), rng, low=0.5, high=3.0)
+
+    def test_sqrt(self, rng):
+        check_gradient(lambda t: t.sqrt().sum(), lambda x: np.sqrt(x).sum(),
+                       (4,), rng, low=0.5, high=3.0)
+
+    def test_tanh(self, rng):
+        check_gradient(lambda t: t.tanh().sum(), lambda x: np.tanh(x).sum(),
+                       (4,), rng)
+
+    def test_abs(self, rng):
+        check_gradient(lambda t: t.abs().sum(), lambda x: np.abs(x).sum(),
+                       (4,), rng, low=0.2, high=2.0)
+
+    def test_clip_interior_and_exterior(self, rng):
+        x = np.array([-2.0, 0.5, 3.0])
+        t = Tensor(x, requires_grad=True)
+        t.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum_gradient_routing(self):
+        a = Tensor([1.0, 5.0], requires_grad=True)
+        b = Tensor([2.0, 3.0], requires_grad=True)
+        ops.maximum(a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 0.0])
+
+    def test_maximum_splits_ties(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        ops.maximum(a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.5])
+        np.testing.assert_allclose(b.grad, [0.5])
+
+    def test_minimum_gradient_routing(self):
+        a = Tensor([1.0, 5.0], requires_grad=True)
+        b = Tensor([2.0, 3.0], requires_grad=True)
+        ops.minimum(a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0])
+
+
+class TestBroadcastGrads:
+    def test_add_broadcast_row(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 4)))
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0))
+
+    def test_mul_broadcast_column(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 1)), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.broadcast_to(b.data, (3, 4)))
+        np.testing.assert_allclose(b.grad, a.data.sum(axis=1, keepdims=True))
+
+    def test_scalar_broadcast(self, rng):
+        a = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        s = Tensor(2.0, requires_grad=True)
+        (a * s).sum().backward()
+        np.testing.assert_allclose(s.grad, a.data.sum())
+
+    def test_div_broadcast(self, rng):
+        a = Tensor(rng.uniform(1, 2, size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.uniform(1, 2, size=(4,)), requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(b.grad,
+                                   (-a.data / b.data ** 2).sum(axis=0))
+
+
+class TestReductionGrads:
+    def test_sum_all(self, rng):
+        check_gradient(lambda t: t.sum(), lambda x: x.sum(), (3, 4), rng)
+
+    def test_sum_axis(self, rng):
+        check_gradient(lambda t: (t.sum(axis=1) ** 2).sum(),
+                       lambda x: (x.sum(axis=1) ** 2).sum(), (3, 4), rng)
+
+    def test_sum_keepdims(self, rng):
+        check_gradient(lambda t: (t.sum(axis=0, keepdims=True) ** 2).sum(),
+                       lambda x: (x.sum(axis=0, keepdims=True) ** 2).sum(),
+                       (3, 4), rng)
+
+    def test_mean_all(self, rng):
+        check_gradient(lambda t: t.mean(), lambda x: x.mean(), (3, 4), rng)
+
+    def test_mean_axis(self, rng):
+        check_gradient(lambda t: (t.mean(axis=0) ** 2).sum(),
+                       lambda x: (x.mean(axis=0) ** 2).sum(), (3, 4), rng)
+
+    def test_max_axis(self, rng):
+        # Distinct values to avoid tie-splitting vs numeric-diff mismatch.
+        x = np.arange(12.0).reshape(3, 4)
+        rng.shuffle(x.reshape(-1))
+        t = Tensor(x.copy(), requires_grad=True)
+        t.max(axis=1).sum().backward()
+        expected = numeric_gradient(lambda a: a.max(axis=1).sum(), x.copy())
+        np.testing.assert_allclose(t.grad, expected, atol=1e-5)
+
+    def test_min_all(self, rng):
+        x = np.array([3.0, -1.0, 2.0])
+        t = Tensor(x, requires_grad=True)
+        t.min().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+
+class TestIndexingGrads:
+    def test_getitem_slice(self, rng):
+        x = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        x[1:3].sum().backward()
+        expected = np.zeros((4, 5))
+        expected[1:3] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_getitem_repeated_indices_accumulate(self):
+        x = Tensor(np.arange(4.0), requires_grad=True)
+        x[np.array([1, 1, 2])].sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 2.0, 1.0, 0.0])
+
+    def test_getitem_pair_index(self):
+        x = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        rows = np.array([0, 2])
+        cols = np.array([1, 3])
+        x[rows, cols].sum().backward()
+        expected = np.zeros((3, 4))
+        expected[0, 1] = expected[2, 3] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_take_rows_scatter_add(self):
+        x = Tensor(np.eye(4), requires_grad=True)
+        out = ops.take_rows(x, np.array([[0, 1], [1, 3]]))
+        assert out.shape == (2, 2, 4)
+        out.sum().backward()
+        # each gathered occurrence contributes ones(4) to its source row
+        np.testing.assert_allclose(x.grad.sum(axis=1), [4.0, 8.0, 0.0, 4.0])
+
+
+class TestShapeGrads:
+    def test_reshape(self, rng):
+        check_gradient(lambda t: (t.reshape(6) ** 2).sum(),
+                       lambda x: (x.reshape(6) ** 2).sum(), (2, 3), rng)
+
+    def test_transpose_default(self, rng):
+        check_gradient(lambda t: (t.T ** 2).sum(),
+                       lambda x: (x.T ** 2).sum(), (2, 3), rng)
+
+    def test_transpose_axes(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        y = x.transpose((2, 0, 1))
+        assert y.shape == (4, 2, 3)
+        (y * y).sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * x.data)
+
+    def test_concatenate(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        out = ops.concatenate([a, b], axis=1)
+        assert out.shape == (2, 5)
+        (out * out).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data)
+        np.testing.assert_allclose(b.grad, 2 * b.data)
+
+    def test_stack(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        out = ops.stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        out.mean(axis=0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full(3, 0.5))
+
+    def test_where(self):
+        cond = np.array([True, False, True])
+        a = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        b = Tensor([10.0, 20.0, 30.0], requires_grad=True)
+        out = ops.where(cond, a, b)
+        np.testing.assert_allclose(out.data, [1.0, 20.0, 3.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0, 0.0])
+
+
+class TestMatmulGrads:
+    def test_matmul_2d(self, rng):
+        a_val = rng.normal(size=(3, 4))
+        b = Tensor(rng.normal(size=(4, 2)))
+        check_gradient(lambda t: (t @ b).sum(),
+                       lambda x: (x @ b.data).sum(), (3, 4), rng)
+
+    def test_matmul_grad_both_sides(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(a.grad,
+                                   np.ones((3, 2)) @ b.data.T, atol=1e-10)
+        np.testing.assert_allclose(b.grad,
+                                   a.data.T @ np.ones((3, 2)), atol=1e-10)
+
+    def test_matmul_vec_vec(self, rng):
+        a = Tensor(rng.normal(size=4), requires_grad=True)
+        b = Tensor(rng.normal(size=4), requires_grad=True)
+        (a @ b).backward()
+        np.testing.assert_allclose(a.grad, b.data)
+        np.testing.assert_allclose(b.grad, a.data)
+
+    def test_matmul_vec_mat(self, rng):
+        a = Tensor(rng.normal(size=3), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(a.grad, b.data.sum(axis=1))
+
+    def test_matmul_mat_vec(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=3), requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(b.grad, a.data.sum(axis=0))
+
+    def test_power_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            ops.power(Tensor([1.0]), Tensor([2.0]))

@@ -1,0 +1,105 @@
+"""Hypothesis property tests for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays, array_shapes
+
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+_finite = st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(min_dims=1, max_dims=2):
+    return arrays(np.float64,
+                  array_shapes(min_dims=min_dims, max_dims=max_dims,
+                               min_side=1, max_side=6),
+                  elements=_finite)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_add_commutes(x):
+    a = Tensor(x)
+    np.testing.assert_allclose((a + a).data, (2.0 * a).data)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_sum_grad_is_ones(x):
+    t = Tensor(x, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_chain_rule_linear(x):
+    """d/dx sum(a*x + b) == a for constants a, b."""
+    t = Tensor(x, requires_grad=True)
+    (t * 3.5 + 2.0).sum().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(x, 3.5))
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_exp_log_roundtrip(x):
+    t = Tensor(x)
+    np.testing.assert_allclose(t.exp().log().data, x, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays(np.float64, st.tuples(st.integers(1, 5), st.integers(1, 5)),
+              elements=_finite))
+def test_logsumexp_bounds(x):
+    """max(x) <= logsumexp(x) <= max(x) + log(n)."""
+    val = F.logsumexp(Tensor(x), axis=1).data
+    assert np.all(val >= x.max(axis=1) - 1e-9)
+    assert np.all(val <= x.max(axis=1) + np.log(x.shape[1]) + 1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays(np.float64, st.tuples(st.integers(2, 5), st.integers(2, 5)),
+              elements=_finite))
+def test_logmeanexp_at_least_mean(x):
+    """Jensen: log E[exp(x)] >= E[x], equality iff constant."""
+    lme = F.logmeanexp(Tensor(x), axis=1).data
+    assert np.all(lme >= x.mean(axis=1) - 1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(1, 4)),
+              elements=st.floats(0.1, 5.0)))
+def test_l2_normalize_idempotent(x):
+    once = F.l2_normalize(Tensor(x), axis=1).data
+    twice = F.l2_normalize(Tensor(once), axis=1).data
+    np.testing.assert_allclose(once, twice, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays(), st.floats(0.1, 3.0))
+def test_softplus_positive_and_above_relu(x, scale):
+    out = F.softplus(Tensor(x * scale)).data
+    assert np.all(out >= 0)
+    assert np.all(out >= np.maximum(x * scale, 0) - 1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, st.tuples(st.integers(2, 6),),
+              elements=_finite))
+def test_variance_non_negative(x):
+    assert F.variance(Tensor(x)).item() >= -1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, st.tuples(st.integers(2, 4), st.integers(2, 4)),
+              elements=_finite),
+       arrays(np.float64, st.tuples(st.integers(2, 4),), elements=_finite))
+def test_matmul_linearity_in_gradient(a_val, v):
+    """grad of sum(A @ x) w.r.t. x is column-sum of A."""
+    if a_val.shape[1] != v.shape[0]:
+        v = np.resize(v, a_val.shape[1])
+    a = Tensor(a_val)
+    x = Tensor(v, requires_grad=True)
+    (a @ x).sum().backward()
+    np.testing.assert_allclose(x.grad, a_val.sum(axis=0), atol=1e-9)
