@@ -1,0 +1,25 @@
+"""Runnable fast-path perf harness (not collected by pytest).
+
+Thin wrapper over :mod:`repro.experiments.perf` so the benchmark
+directory has a one-command entry point::
+
+    PYTHONPATH=src python benchmarks/perf.py [--out BENCH_fastpath.json ...]
+
+Times train-step and full-ranking-eval throughput per (model, loss)
+cell for both the fused/cached fast path and the compositional
+reference, and writes ``BENCH_fastpath.json`` (schema
+``bsl-fastpath-bench/v1``).  Equivalent to ``python -m repro.cli perf``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+if __name__ == "__main__":
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    src = repo_root / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    from repro.cli import main
+    raise SystemExit(main(["perf", *sys.argv[1:]]))

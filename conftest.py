@@ -1,0 +1,52 @@
+"""Repo-wide pytest configuration: the ``slow`` marker and its gate.
+
+The tier-1 command (``pytest -x -q``) must stay fast: the benchmark
+suite under ``benchmarks/`` reproduces whole paper tables/figures and
+takes minutes per file, so every test collected from that directory is
+auto-marked ``slow``, and ``slow`` tests are skipped unless the run
+opts in with ``--runslow``::
+
+    pytest -q                      # fast tier-1 suite (slow skipped)
+    pytest -q --runslow            # everything, including figure benches
+    pytest benchmarks -q --runslow # just the paper figures/tables
+
+Unit tests may also tag themselves ``@pytest.mark.slow`` (e.g. the
+long training integration tests) to join the gated set.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_BENCH_DIR = pathlib.Path(__file__).parent / "benchmarks"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow", action="store_true", default=False,
+        help="run tests marked slow (benchmark figure/table reproductions)")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running benchmark/figure test, skipped without --runslow")
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        try:
+            in_bench = pathlib.Path(str(item.fspath)).resolve().is_relative_to(
+                _BENCH_DIR.resolve())
+        except (OSError, ValueError):
+            in_bench = False
+        if in_bench:
+            item.add_marker(pytest.mark.slow)
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

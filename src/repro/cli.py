@@ -5,6 +5,8 @@ Subcommands:
 * ``train`` — train one (dataset, model, loss) cell and print metrics.
 * ``datasets`` — list the built-in synthetic presets with statistics.
 * ``sweep-tau`` — quick SL temperature sweep on one dataset.
+* ``perf`` — time train-step / eval throughput and write
+  ``BENCH_fastpath.json`` (the fast-path perf trajectory).
 """
 
 from __future__ import annotations
@@ -63,6 +65,24 @@ def _cmd_sweep_tau(args) -> int:
     return 0
 
 
+def _cmd_perf(args) -> int:
+    from repro.experiments.perf import (PerfConfig, run_perf_suite,
+                                        summarize, write_report)
+    config = PerfConfig(
+        dataset=args.dataset,
+        models=tuple(args.models.split(",")),
+        losses=tuple(args.losses.split(",")),
+        dim=args.dim, steps=args.steps, warmup=args.warmup,
+        batch_size=args.batch_size, n_negatives=args.negatives,
+        eval_repeats=args.eval_repeats,
+        include_reference=not args.no_reference, seed=args.seed)
+    payload = run_perf_suite(config)
+    write_report(payload, args.out)
+    print(summarize(payload))
+    print(f"wrote {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="BSL reproduction command line")
@@ -95,13 +115,33 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--taus", default="0.2,0.3,0.4,0.6")
     sweep.add_argument("--epochs", type=int, default=18)
     sweep.add_argument("--seed", type=int, default=0)
+
+    perf = sub.add_parser(
+        "perf", help="time train/eval throughput, write BENCH_fastpath.json")
+    perf.add_argument("--dataset", default="yelp2018-small",
+                      choices=dataset_names())
+    perf.add_argument("--models", default="mf,lightgcn,simgcl",
+                      help="comma-separated model registry names")
+    perf.add_argument("--losses", default="sl,bsl",
+                      help="comma-separated loss registry names")
+    perf.add_argument("--dim", type=int, default=64)
+    perf.add_argument("--steps", type=int, default=15,
+                      help="timed optimizer steps per cell")
+    perf.add_argument("--warmup", type=int, default=3)
+    perf.add_argument("--batch-size", type=int, default=1024)
+    perf.add_argument("--negatives", type=int, default=128)
+    perf.add_argument("--eval-repeats", type=int, default=3)
+    perf.add_argument("--no-reference", action="store_true",
+                      help="skip the compositional/uncached baseline rows")
+    perf.add_argument("--seed", type=int, default=0)
+    perf.add_argument("--out", default="BENCH_fastpath.json")
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"datasets": _cmd_datasets, "train": _cmd_train,
-                "sweep-tau": _cmd_sweep_tau}
+                "sweep-tau": _cmd_sweep_tau, "perf": _cmd_perf}
     return handlers[args.command](args)
 
 

@@ -48,6 +48,13 @@ class Evaluator:
         Subset of {"recall", "ndcg", "precision", "hit", "map"}.
     batch_users:
         Number of users scored per dense block (memory control).
+    chunked:
+        Use the vectorized fast path: per chunk of users, one dense
+        score block, one ``argpartition`` top-K, and array-level metric
+        computation over the whole chunk.  ``chunked=False`` keeps the
+        original per-user metric loop as the reference oracle; both
+        paths produce identical ranked lists and metric values
+        (``tests/test_eval_chunked.py`` enforces this).
     """
 
     _METRIC_FNS = {
@@ -59,7 +66,8 @@ class Evaluator:
     }
 
     def __init__(self, dataset: InteractionDataset, ks=(20,),
-                 metric_names=("recall", "ndcg"), batch_users: int = 256):
+                 metric_names=("recall", "ndcg"), batch_users: int = 256,
+                 chunked: bool = True):
         unknown = set(metric_names) - set(self._METRIC_FNS)
         if unknown:
             raise ValueError(f"unknown metrics: {sorted(unknown)}")
@@ -67,9 +75,35 @@ class Evaluator:
         self.ks = tuple(sorted(set(int(k) for k in ks)))
         self.metric_names = tuple(metric_names)
         self.batch_users = batch_users
+        self.chunked = chunked
         self._test_users = np.array(
             [u for u in range(dataset.num_users)
              if len(dataset.test_items_by_user[u]) > 0], dtype=np.int64)
+        #: held-out positive count per test user (vectorized metrics)
+        self._num_relevant = np.array(
+            [len(dataset.test_items_by_user[u]) for u in self._test_users],
+            dtype=np.int64)
+        # Flattened train-interaction layout over the test users, so
+        # per-chunk masking is two array slices instead of per-user
+        # Python concatenation on every evaluate() pass.
+        train_counts = np.array(
+            [len(dataset.train_items_by_user[u]) for u in self._test_users],
+            dtype=np.int64)
+        self._train_indptr = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(train_counts)])
+        self._train_cols = (np.concatenate(
+            [np.asarray(dataset.train_items_by_user[u], dtype=np.int64)
+             for u in self._test_users])
+            if train_counts.sum() else np.empty(0, dtype=np.int64))
+        self._test_pos = np.full(dataset.num_users, -1, dtype=np.int64)
+        self._test_pos[self._test_users] = np.arange(len(self._test_users))
+        # Ranked-list width is fixed: hoist the shared discount/IDCG
+        # tables out of the per-chunk loop (IDCG summed exactly like
+        # the per-user oracle — np.sum's pairwise order, not cumsum's).
+        width = min(max(self.ks), dataset.num_items)
+        self._discounts = 1.0 / np.log2(np.arange(2, width + 2))
+        self._idcg_table = np.array([self._discounts[:n].sum()
+                                     for n in range(1, width + 1)])
 
     # ------------------------------------------------------------------
     def evaluate(self, model: Recommender) -> EvalResult:
@@ -82,21 +116,84 @@ class Evaluator:
             scores = model.predict_scores(user_ids=users)
             self._mask_train_items(scores, users)
             top = M.rank_items(scores, max_k)
-            for row, u in enumerate(users):
-                relevant = self.dataset.test_items_by_user[u]
-                for k in self.ks:
-                    for m in self.metric_names:
-                        value = self._METRIC_FNS[m](top[row, :k], relevant)
-                        per_user[f"{m}@{k}"][lo + row] = value
+            if self.chunked:
+                self._chunk_metrics(per_user, lo, users, top)
+            else:
+                for row, u in enumerate(users):
+                    relevant = self.dataset.test_items_by_user[u]
+                    for k in self.ks:
+                        for m in self.metric_names:
+                            value = self._METRIC_FNS[m](top[row, :k], relevant)
+                            per_user[f"{m}@{k}"][lo + row] = value
         aggregated = {key: float(vals.mean()) for key, vals in per_user.items()}
         return EvalResult(aggregated, per_user=per_user,
                           evaluated_users=self._test_users.copy())
 
-    def _mask_train_items(self, scores: np.ndarray, users: np.ndarray) -> None:
+    def _chunk_metrics(self, per_user: dict, lo: int, users: np.ndarray,
+                       top: np.ndarray) -> None:
+        """Vectorized metrics for one chunk of ranked lists.
+
+        Computes the same per-user formulas as :mod:`repro.eval.metrics`
+        but over ``(chunk, K)`` arrays: the hit matrix comes from one
+        fancy-indexed lookup into a per-chunk relevance mask instead of
+        ``top_k`` Python set probes per user.
+        """
+        n_rows, width = top.shape
+        n_items = self.dataset.num_items
+        relevant_mask = np.zeros((n_rows, n_items), dtype=bool)
         for row, u in enumerate(users):
-            train_items = self.dataset.train_items_by_user[u]
-            if len(train_items):
-                scores[row, train_items] = -np.inf
+            relevant_mask[row, self.dataset.test_items_by_user[u]] = True
+        hits = np.take_along_axis(relevant_mask, top, axis=1).astype(np.float64)
+        n_rel = self._num_relevant[lo:lo + n_rows].astype(np.float64)
+        discounts = self._discounts
+        idcg_table = self._idcg_table
+        assert width == len(discounts), "ranked-list width changed?"
+        for k in self.ks:
+            kk = min(k, n_items)
+            hits_k = hits[:, :kk]
+            hit_counts = hits_k.sum(axis=1)
+            for m in self.metric_names:
+                if m == "recall":
+                    values = hit_counts / n_rel
+                elif m == "precision":
+                    values = hit_counts / kk
+                elif m == "hit":
+                    values = (hit_counts > 0).astype(np.float64)
+                elif m == "ndcg":
+                    dcg = (hits_k * discounts[:kk]).sum(axis=1)
+                    ideal = np.minimum(n_rel, kk).astype(np.int64)
+                    values = dcg / idcg_table[ideal - 1]
+                else:  # map
+                    precisions = (np.cumsum(hits_k, axis=1)
+                                  / np.arange(1, kk + 1))
+                    values = ((precisions * hits_k).sum(axis=1)
+                              / np.minimum(n_rel, kk))
+                    values[hit_counts == 0] = 0.0
+                per_user[f"{m}@{k}"][lo:lo + n_rows] = values
+
+    def _mask_train_items(self, scores: np.ndarray, users: np.ndarray) -> None:
+        """Mask already-seen items with one vectorized scatter per chunk.
+
+        Contiguous runs of test users (every chunk produced by
+        :meth:`evaluate`) hit the precomputed flattened layout; any
+        other user set falls back to the per-user scatter.
+        """
+        if not len(users):
+            return
+        pos = self._test_pos[np.asarray(users, dtype=np.int64)]
+        if np.all(pos >= 0) and np.all(np.diff(pos) == 1):
+            start = self._train_indptr[pos[0]]
+            stop = self._train_indptr[pos[-1] + 1]
+            cols = self._train_cols[start:stop]
+            if cols.size:
+                counts = np.diff(self._train_indptr[pos[0]:pos[-1] + 2])
+                rows = np.repeat(np.arange(len(users)), counts)
+                scores[rows, cols] = -np.inf
+            return
+        for row, u in enumerate(users):
+            items = self.dataset.train_items_by_user[u]
+            if len(items):
+                scores[row, items] = -np.inf
 
 
 def evaluate_model(model: Recommender, dataset: InteractionDataset,

@@ -1,4 +1,8 @@
-"""Experiment harness, per-figure presets and report printers."""
+"""Experiment harness, per-figure presets, report printers, perf suite.
+
+The perf suite (:mod:`repro.experiments.perf`) is intentionally not
+imported eagerly — the CLI loads it only for the ``perf`` subcommand.
+"""
 
 from repro.experiments.harness import (ExperimentSpec, ExperimentResult,
                                        run_experiment, build_components,

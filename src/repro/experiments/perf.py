@@ -1,0 +1,230 @@
+"""Fast-path performance harness.
+
+Times the two hot loops of the reproduction — the training step
+(forward + backward + Adam) and full-ranking evaluation — per
+(model, loss) cell, for both the fused/cached fast path and the
+compositional/uncached reference path, and emits the results as
+``BENCH_fastpath.json`` in a stable schema so the perf trajectory of
+the codebase is tracked across PRs.
+
+Programmatic entry points:
+
+* :func:`time_train_steps` — ms/step for one (model, loss) cell.
+* :func:`time_eval` — users/s for one model's full-ranking pass.
+* :func:`run_perf_suite` — the whole grid; returns the JSON payload.
+
+CLI: ``python -m repro.cli perf`` (or ``python benchmarks/perf.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.data.synthetic import load_dataset
+from repro.eval.evaluator import Evaluator
+from repro.losses.registry import get_loss
+from repro.models.registry import get_model
+from repro.tensor.tensor import bump_data_version
+from repro.train.config import TrainConfig
+from repro.train.trainer import Trainer
+
+__all__ = ["SCHEMA", "PerfConfig", "time_train_steps", "time_eval",
+           "run_perf_suite", "write_report"]
+
+#: Bump the suffix when the payload layout changes incompatibly.
+SCHEMA = "bsl-fastpath-bench/v1"
+
+
+@dataclass
+class PerfConfig:
+    """Knobs for one harness run (defaults match the paper's scales)."""
+
+    dataset: str = "yelp2018-small"
+    models: tuple = ("mf", "lightgcn", "simgcl")
+    losses: tuple = ("sl", "bsl")
+    dim: int = 64
+    steps: int = 15
+    warmup: int = 3
+    batch_size: int = 1024
+    n_negatives: int = 128
+    eval_repeats: int = 3
+    #: also time the compositional/uncached reference path per cell
+    include_reference: bool = True
+    seed: int = 0
+    extra_info: dict = field(default_factory=dict)
+
+
+def _loss_with_fused(loss_name: str, fused: bool):
+    loss = get_loss(loss_name)
+    if hasattr(loss, "fused"):
+        loss.fused = fused
+    return loss
+
+
+def time_train_steps(model_name: str, loss_name: str, dataset,
+                     *, fused: bool = True, cache_propagation: bool = True,
+                     steps: int = 15, warmup: int = 3, dim: int = 64,
+                     batch_size: int = 1024, n_negatives: int = 128,
+                     seed: int = 0) -> dict:
+    """Wall-clock one (model, loss) training cell for ``steps`` steps.
+
+    Returns a result row of the ``train_step`` kind (see module
+    docstring for the schema).
+    """
+    if steps <= 0:
+        raise ValueError(f"steps must be positive, got {steps}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be non-negative, got {warmup}")
+    model = get_model(model_name, dataset, dim=dim, rng=seed)
+    if hasattr(model, "cache_propagation"):
+        model.cache_propagation = cache_propagation
+    loss = _loss_with_fused(loss_name, fused)
+    config = TrainConfig(epochs=1, batch_size=batch_size,
+                         n_negatives=n_negatives, eval_every=0, patience=0,
+                         seed=seed)
+    trainer = Trainer(model, loss, dataset, config, evaluator=None)
+
+    def run_steps(n: int) -> None:
+        done = 0
+        while done < n:
+            model.on_epoch_start(trainer.epoch_rng)
+            for batch in trainer.sampler.epoch():
+                trainer.train_step(batch)
+                done += 1
+                if done >= n:
+                    return
+
+    run_steps(warmup)
+    start = time.perf_counter()
+    run_steps(steps)
+    elapsed = time.perf_counter() - start
+    return {
+        "kind": "train_step",
+        "model": model_name,
+        "loss": loss_name,
+        "fused": bool(fused),
+        "cache_propagation": bool(cache_propagation),
+        "steps": steps,
+        "batch_size": batch_size,
+        "n_negatives": n_negatives,
+        "total_s": elapsed,
+        "ms_per_step": 1e3 * elapsed / steps,
+        "steps_per_s": steps / elapsed if elapsed > 0 else float("inf"),
+    }
+
+
+def time_eval(model_name: str, dataset, *, chunked: bool = True,
+              repeats: int = 3, dim: int = 64, ks=(20,),
+              seed: int = 0) -> dict:
+    """Wall-clock full-ranking evaluation throughput for one model.
+
+    The data version is bumped before every timed pass so graph models
+    re-run propagation each time, matching real training where periodic
+    evaluation always follows optimizer steps — otherwise the
+    propagation memo would hide the forward cost entirely.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    model = get_model(model_name, dataset, dim=dim, rng=seed)
+    evaluator = Evaluator(dataset, ks=ks, chunked=chunked)
+    evaluator.evaluate(model)  # warmup (builds caches, touches pages)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        bump_data_version()
+        evaluator.evaluate(model)
+    elapsed = time.perf_counter() - start
+    users = len(evaluator._test_users)
+    return {
+        "kind": "eval",
+        "model": model_name,
+        "chunked": bool(chunked),
+        "repeats": repeats,
+        "users": users,
+        "total_s": elapsed,
+        "ms_per_pass": 1e3 * elapsed / repeats,
+        "users_per_s": users * repeats / elapsed if elapsed > 0
+        else float("inf"),
+    }
+
+
+def run_perf_suite(config: PerfConfig | None = None) -> dict:
+    """Run the full grid and return the ``BENCH_fastpath.json`` payload."""
+    config = config or PerfConfig()
+    dataset = load_dataset(config.dataset)
+    results = []
+    for model_name in config.models:
+        for loss_name in config.losses:
+            results.append(time_train_steps(
+                model_name, loss_name, dataset, fused=True,
+                cache_propagation=True, steps=config.steps,
+                warmup=config.warmup, dim=config.dim,
+                batch_size=config.batch_size,
+                n_negatives=config.n_negatives, seed=config.seed))
+            if config.include_reference:
+                results.append(time_train_steps(
+                    model_name, loss_name, dataset, fused=False,
+                    cache_propagation=False, steps=config.steps,
+                    warmup=config.warmup, dim=config.dim,
+                    batch_size=config.batch_size,
+                    n_negatives=config.n_negatives, seed=config.seed))
+        results.append(time_eval(model_name, dataset, chunked=True,
+                                 repeats=config.eval_repeats, dim=config.dim,
+                                 seed=config.seed))
+        if config.include_reference:
+            results.append(time_eval(model_name, dataset, chunked=False,
+                                     repeats=config.eval_repeats,
+                                     dim=config.dim, seed=config.seed))
+    payload = {
+        "schema": SCHEMA,
+        "created_unix": time.time(),
+        "dataset": config.dataset,
+        "config": {
+            "models": list(config.models),
+            "losses": list(config.losses),
+            "dim": config.dim,
+            "steps": config.steps,
+            "warmup": config.warmup,
+            "batch_size": config.batch_size,
+            "n_negatives": config.n_negatives,
+            "eval_repeats": config.eval_repeats,
+            "seed": config.seed,
+            **config.extra_info,
+        },
+        "results": results,
+    }
+    return payload
+
+
+def write_report(payload: dict, path) -> None:
+    """Persist a payload produced by :func:`run_perf_suite`."""
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def summarize(payload: dict) -> str:
+    """Human-readable fast-vs-reference table for one payload."""
+    lines = [f"perf suite on {payload['dataset']} "
+             f"(schema {payload['schema']})"]
+    rows = payload["results"]
+    train = [r for r in rows if r["kind"] == "train_step"]
+    for fast in [r for r in train if r["fused"]]:
+        ref = next((r for r in train
+                    if not r["fused"] and r["model"] == fast["model"]
+                    and r["loss"] == fast["loss"]), None)
+        gain = (f"  ({ref['ms_per_step'] / fast['ms_per_step']:.2f}x vs "
+                f"reference)") if ref else ""
+        lines.append(f"  train {fast['model']}+{fast['loss']}: "
+                     f"{fast['ms_per_step']:.2f} ms/step{gain}")
+    evals = [r for r in rows if r["kind"] == "eval"]
+    for fast in [r for r in evals if r["chunked"]]:
+        ref = next((r for r in evals
+                    if not r["chunked"] and r["model"] == fast["model"]),
+                   None)
+        gain = (f"  ({fast['users_per_s'] / ref['users_per_s']:.2f}x vs "
+                f"reference)") if ref else ""
+        lines.append(f"  eval  {fast['model']}: "
+                     f"{fast['users_per_s']:.0f} users/s{gain}")
+    return "\n".join(lines)

@@ -1,9 +1,28 @@
-"""Differentiable sparse propagation.
+"""Differentiable sparse propagation, with a per-graph-version cache.
 
 GCN layers multiply a constant sparse adjacency by the dense embedding
 tensor; the vector-Jacobian product is simply the transposed adjacency
 applied to the upstream gradient.  Registered here as a custom autograd
 op so propagation composes with the rest of the graph.
+
+Because LightGCN-family models re-run the *same* spmv chain several
+times per training step (the scoring forward plus one or two SSL-view
+forwards), :class:`PropagationCache` memoizes each ``adjacency @ x``
+product per graph version.  An entry is valid only while
+
+* the adjacency object is the same object (``graph/perturb.py`` builds
+  a fresh matrix for every resampled view, so edits invalidate by
+  identity),
+* no parameter buffer has been mutated in place since the product was
+  computed (tracked via :func:`repro.tensor.tensor.data_version`), and
+* the autograd-recording mode is unchanged (a no-grad product must not
+  be reused inside a training forward).
+
+Reusing a cached node means the scoring loss and the SSL losses share
+one subgraph; reverse-mode accumulation through shared parents is
+exactly gradient summation, so a single ``backward()`` on the summed
+loss is unchanged semantically — only the redundant forward work
+disappears.
 """
 
 from __future__ import annotations
@@ -11,8 +30,32 @@ from __future__ import annotations
 import scipy.sparse as sp
 
 from repro.tensor import Tensor, as_tensor, ops
+from repro.tensor.tensor import data_version, is_grad_enabled
 
-__all__ = ["spmm"]
+__all__ = ["spmm", "PropagationCache"]
+
+# Attribute under which a matrix memoizes its own CSR transpose.  Tying
+# the memo to the matrix object (rather than a module-level cache) means
+# its lifetime exactly matches the adjacency's: discarded graph views
+# free their transposes with them, and the permanent base adjacency
+# keeps its transpose for every backward pass.
+_TRANSPOSE_ATTR = "_repro_cached_transpose"
+
+
+def _transposed_csr(matrix) -> sp.csr_matrix:
+    """``matrix.T.tocsr()``, memoized on the (constant) matrix itself.
+
+    The backward pass of every spmm node on the same adjacency shares
+    one transpose instead of re-materializing an O(nnz) copy per node.
+    """
+    cached = getattr(matrix, _TRANSPOSE_ATTR, None)
+    if cached is None:
+        cached = matrix.T.tocsr()
+        try:
+            setattr(matrix, _TRANSPOSE_ATTR, cached)
+        except AttributeError:  # exotic matrix types without __dict__
+            pass
+    return cached
 
 
 def spmm(matrix: sp.spmatrix, x) -> Tensor:
@@ -30,9 +73,78 @@ def spmm(matrix: sp.spmatrix, x) -> Tensor:
         raise ValueError(f"shape mismatch: {matrix.shape} @ {x.shape}")
     csr = matrix.tocsr()
     data = csr @ x.data
-    transposed = csr.T.tocsr()
 
     def backward(g):
-        return (transposed @ g,)
+        return (_transposed_csr(csr) @ g,)
 
     return ops._node(data, (x,), backward)
+
+
+class PropagationCache:
+    """Memoize ``adjacency @ x`` autograd nodes per graph version.
+
+    Owned by one model instance.  Keys are ``(id(adjacency), id(x))``
+    with strong references kept for identity verification; every entry
+    also records the global data-version token and grad mode at
+    creation.  On any miss with a changed token the whole cache is
+    dropped, so stale entries never outlive an optimizer step, a
+    checkpoint restore, or a graph-view resample.
+    """
+
+    def __init__(self, max_entries: int = 32):
+        self.max_entries = max_entries
+        self._entries: dict[tuple[int, int], tuple] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _token(self) -> tuple[int, bool]:
+        return (data_version(), is_grad_enabled())
+
+    def _purge_if_stale(self, token) -> None:
+        """Enforce the invariant that all live entries share one token.
+
+        Entries are only ever inserted under the current token, so a
+        single mismatching entry means *every* entry is stale — drop
+        them all so dead autograd subgraphs aren't pinned.  Also caps
+        the entry count (clearing wholesale is fine: one forward pass
+        repopulates the handful of hot products).
+        """
+        if self._entries and (
+                len(self._entries) >= self.max_entries
+                or next(iter(self._entries.values()))[2] != token):
+            self._entries.clear()
+
+    def spmm(self, matrix: sp.spmatrix, x) -> Tensor:
+        """Cached :func:`spmm`; falls through on any staleness signal."""
+        x = as_tensor(x)
+        token = self._token()
+        key = (id(matrix), id(x))
+        entry = self._entries.get(key)
+        if (entry is not None and entry[0] is matrix and entry[1] is x
+                and entry[2] == token):
+            self.hits += 1
+            return entry[3]
+        self.misses += 1
+        self._purge_if_stale(token)
+        out = spmm(matrix, x)
+        self._entries[key] = (matrix, x, token, out)
+        return out
+
+    def get(self, kind: str, matrix) -> Tensor | None:
+        """Look up a non-spmm memo (e.g. a model's final propagate())."""
+        token = self._token()
+        key = (kind, id(matrix))
+        entry = self._entries.get(key)
+        if (entry is not None and entry[0] is matrix and entry[2] == token):
+            self.hits += 1
+            return entry[3]
+        self._purge_if_stale(token)
+        return None
+
+    def put(self, kind: str, matrix, value) -> None:
+        token = self._token()
+        self._purge_if_stale(token)
+        self._entries[(kind, id(matrix))] = (matrix, None, token, value)
+
+    def clear(self) -> None:
+        self._entries.clear()

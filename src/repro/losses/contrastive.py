@@ -23,20 +23,27 @@ class InfoNCELoss:
     rows (in-batch negatives):
 
     ``L = -E_b[ log exp(s_bb/τ) / Σ_k exp(s_bk/τ) ]``
+
+    ``fused=True`` (default) dispatches to the single-node kernel
+    :func:`repro.tensor.functional.fused_infonce_loss`; the
+    compositional path below stays as the reference oracle.
     """
 
     name = "infonce"
 
-    def __init__(self, tau: float = 0.2):
+    def __init__(self, tau: float = 0.2, fused: bool = True):
         if tau <= 0:
             raise ValueError(f"temperature must be positive, got {tau}")
         self.tau = tau
+        self.fused = fused
 
     def __call__(self, z1, z2) -> Tensor:
         z1, z2 = as_tensor(z1), as_tensor(z2)
         if z1.shape != z2.shape or z1.ndim != 2:
             raise ValueError(f"views must share a 2-D shape, got {z1.shape} "
                              f"vs {z2.shape}")
+        if self.fused:
+            return F.fused_infonce_loss(z1, z2, self.tau)
         z1 = F.l2_normalize(z1, axis=1)
         z2 = F.l2_normalize(z2, axis=1)
         sims = F.pairwise_scores(z1, z2) / self.tau          # (B, B)

@@ -36,19 +36,30 @@ class SoftmaxLoss(Loss):
         If True, multiply the loss by ``τ`` to match the exact Eq. (5)
         scaling instead of the conventional InfoNCE-style ``1/τ`` form.
         Both have identical optima; the default matches the pseudocode.
+    fused:
+        Dispatch to the single-node fused kernel
+        (:func:`repro.tensor.functional.fused_softmax_loss`).  The
+        compositional path (``fused=False``) is the reference oracle;
+        both agree to numerical precision (see the fused-kernel contract
+        in :mod:`repro.tensor`).
     """
 
     name = "sl"
 
     def __init__(self, tau: float = 0.1, include_positive: bool = False,
-                 scale_by_temperature: bool = False):
+                 scale_by_temperature: bool = False, fused: bool = True):
         if tau <= 0:
             raise ValueError(f"temperature must be positive, got {tau}")
         self.tau = tau
         self.include_positive = include_positive
         self.scale_by_temperature = scale_by_temperature
+        self.fused = fused
 
     def compute(self, pos: Tensor, neg: Tensor) -> Tensor:
+        if self.fused:
+            return F.fused_softmax_loss(
+                pos, neg, self.tau, include_positive=self.include_positive,
+                scale_by_temperature=self.scale_by_temperature)
         logits = neg / self.tau
         if self.include_positive:
             logits = ops.concatenate([pos.unsqueeze(1) / self.tau, logits],

@@ -14,6 +14,7 @@ from repro.models.base import Recommender
 from repro.nn.embedding import Embedding
 from repro.tensor import Tensor
 from repro.tensor.random import spawn_rngs
+from repro.tensor.tensor import bump_data_version
 
 __all__ = ["CML"]
 
@@ -48,3 +49,4 @@ class CML(Recommender):
             norms = np.linalg.norm(table.data, axis=1, keepdims=True)
             scale = np.minimum(1.0, self.max_norm / np.maximum(norms, 1e-12))
             table.data *= scale
+        bump_data_version()

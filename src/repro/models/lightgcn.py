@@ -12,11 +12,12 @@ import scipy.sparse as sp
 
 from repro.data.dataset import InteractionDataset
 from repro.graph.adjacency import bipartite_adjacency
-from repro.graph.propagation import spmm
+from repro.graph.propagation import PropagationCache, spmm
 from repro.models.base import Recommender
 from repro.nn.embedding import Embedding
 from repro.tensor import Tensor, ops
 from repro.tensor.random import spawn_rngs
+from repro.tensor.tensor import data_version, is_grad_enabled
 
 __all__ = ["LightGCN"]
 
@@ -31,10 +32,17 @@ class LightGCN(Recommender):
         train split.
     num_layers:
         Propagation depth ``L`` (the paper tunes {1, 2, 3}).
+    cache_propagation:
+        Memoize spmv products and full forward results per graph
+        version (see :class:`repro.graph.propagation.PropagationCache`).
+        Safe because every in-place parameter edit bumps the global
+        data version; disable when mutating ``.data`` buffers outside
+        the optimizer/checkpoint paths without bumping.
     """
 
     def __init__(self, dataset: InteractionDataset, dim: int = 64,
-                 num_layers: int = 2, rng=None):
+                 num_layers: int = 2, rng=None,
+                 cache_propagation: bool = True):
         super().__init__(dataset.num_users, dataset.num_items, dim,
                          train_scoring="cosine", test_scoring="inner")
         if num_layers < 1:
@@ -44,6 +52,9 @@ class LightGCN(Recommender):
         self.user_embedding = Embedding(dataset.num_users, dim, rng=user_rng)
         self.item_embedding = Embedding(dataset.num_items, dim, rng=item_rng)
         self._adjacency: sp.csr_matrix = bipartite_adjacency(dataset)
+        self.cache_propagation = cache_propagation
+        self._prop_cache = PropagationCache()
+        self._ego_entry: tuple | None = None
 
     # The adjacency is exposed so subclasses (SGL/SimGCL/LightGCL) can
     # propagate alternative views through the same machinery.
@@ -51,25 +62,83 @@ class LightGCN(Recommender):
     def adjacency(self) -> sp.csr_matrix:
         return self._adjacency
 
+    @property
+    def propagation_cache(self) -> PropagationCache:
+        return self._prop_cache
+
+    def invalidate_propagation_cache(self) -> None:
+        """Drop all memoized propagation results (and the ego memo)."""
+        self._prop_cache.clear()
+        self._ego_entry = None
+
+    def _ego(self) -> Tensor:
+        """Concatenated (user ‖ item) table, memoized per data version.
+
+        Returning the *same* tensor object across forward passes within
+        one step is what lets the spmv cache key hops by identity.
+        """
+        token = (data_version(), is_grad_enabled())
+        if not self.cache_propagation:
+            return ops.concatenate(
+                [self.user_embedding.all(), self.item_embedding.all()], axis=0)
+        if self._ego_entry is None or self._ego_entry[0] != token:
+            ego = ops.concatenate(
+                [self.user_embedding.all(), self.item_embedding.all()], axis=0)
+            self._ego_entry = (token, ego)
+        return self._ego_entry[1]
+
     def propagate(self) -> tuple[Tensor, Tensor]:
         return self._propagate_on(self._adjacency)
+
+    def _spmm(self, adjacency: sp.csr_matrix, x: Tensor) -> Tensor:
+        if self.cache_propagation:
+            return self._prop_cache.spmm(adjacency, x)
+        return spmm(adjacency, x)
 
     def _propagate_on(self, adjacency: sp.csr_matrix,
                       noise_fn=None) -> tuple[Tensor, Tensor]:
         """Run L propagation steps on a given adjacency.
 
         ``noise_fn(layer_tensor) -> Tensor`` optionally perturbs each
-        layer output (SimGCL's augmentation).
+        layer output (SimGCL's augmentation).  Noise-free forwards are
+        memoized whole per (adjacency, data version); noisy forwards
+        still reuse any cached hop whose input is unperturbed (the
+        first hop always starts from the shared ego tensor).
         """
-        ego = ops.concatenate(
-            [self.user_embedding.all(), self.item_embedding.all()], axis=0)
+        cacheable = noise_fn is None and self.cache_propagation
+        if cacheable:
+            memo = self._prop_cache.get("propagate", adjacency)
+            if memo is not None:
+                return memo
+        final = self._propagate_layers(adjacency, noise_fn)
+        result = final[: self.num_users], final[self.num_users:]
+        if cacheable:
+            self._prop_cache.put("propagate", adjacency, result)
+        return result
+
+    def _propagate_layers(self, adjacency: sp.csr_matrix,
+                          noise_fn=None) -> Tensor:
+        layers = self._layer_tensors(adjacency, noise_fn)
+        stacked = ops.stack(layers, axis=0)
+        return stacked.mean(axis=0)
+
+    def _layer_tensors(self, adjacency: sp.csr_matrix,
+                       noise_fn=None) -> list[Tensor]:
+        """The ``[E^(0) ... E^(L)]`` chain (NCL consumes it directly)."""
+        ego = self._ego()
         layers = [ego]
         current = ego
         for _ in range(self.num_layers):
-            current = spmm(adjacency, current)
+            # A hop fed by a fresh noise-perturbed tensor can never hit
+            # the cache again — compute it directly rather than insert
+            # an entry that only pins its dead subgraph until the next
+            # purge.  The first hop always starts from the shared ego
+            # tensor and stays cacheable.
+            if noise_fn is None or current is ego:
+                current = self._spmm(adjacency, current)
+            else:
+                current = spmm(adjacency, current)
             if noise_fn is not None:
                 current = noise_fn(current)
             layers.append(current)
-        stacked = ops.stack(layers, axis=0)
-        final = stacked.mean(axis=0)
-        return final[: self.num_users], final[self.num_users:]
+        return layers

@@ -17,7 +17,6 @@ import numpy as np
 from repro.analysis.kmeans import kmeans
 from repro.data.dataset import InteractionDataset
 from repro.data.sampling import TrainingBatch
-from repro.graph.propagation import spmm
 from repro.losses.contrastive import InfoNCELoss
 from repro.models.lightgcn import LightGCN
 from repro.tensor import Tensor, no_grad, ops
@@ -72,14 +71,10 @@ class NCL(LightGCN):
         self._item_protos = item_centroids[item_labels]
 
     def _layer_embeddings(self) -> list[Tensor]:
-        ego = ops.concatenate(
-            [self.user_embedding.all(), self.item_embedding.all()], axis=0)
-        layers = [ego]
-        current = ego
-        for _ in range(self.num_layers):
-            current = spmm(self.adjacency, current)
-            layers.append(current)
-        return layers
+        # Shares the propagation cache with batch_scores' propagate():
+        # within one training step both walk the identical spmv chain,
+        # so the auxiliary branch reuses the already-built nodes.
+        return self._layer_tensors(self.adjacency)
 
     def auxiliary_loss(self, batch: TrainingBatch) -> Tensor | None:
         if self.ssl_weight == 0 and self.proto_weight == 0:

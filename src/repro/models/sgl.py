@@ -53,6 +53,10 @@ class SGL(LightGCN):
         self._view_adjacency = (
             edge_dropout_adjacency(self._dataset, self.drop_ratio, rng),
             edge_dropout_adjacency(self._dataset, self.drop_ratio, rng))
+        # The old views' memoized products can never hit again (fresh
+        # matrix objects); drop them eagerly rather than waiting for the
+        # next data-version purge.
+        self.invalidate_propagation_cache()
 
     def auxiliary_loss(self, batch: TrainingBatch) -> Tensor | None:
         if self.ssl_weight == 0:

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.tensor import Tensor
+from repro.tensor.tensor import bump_data_version
 
 __all__ = ["Parameter", "Module"]
 
@@ -107,11 +108,16 @@ class Module:
         if missing or unexpected:
             raise KeyError(f"state dict mismatch: missing={sorted(missing)}, "
                            f"unexpected={sorted(unexpected)}")
+        # Validate every shape before the first in-place write so a bad
+        # checkpoint cannot leave the model half-loaded (and the data
+        # version un-bumped) when it raises.
         for name, p in own.items():
             if p.data.shape != state[name].shape:
                 raise ValueError(f"shape mismatch for {name}: "
                                  f"{p.data.shape} vs {state[name].shape}")
+        for name, p in own.items():
             p.data[...] = state[name]
+        bump_data_version()
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)

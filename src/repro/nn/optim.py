@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.module import Parameter
+from repro.tensor.tensor import bump_data_version
 
 __all__ = ["Optimizer", "SGD", "Adam"]
 
@@ -55,6 +56,7 @@ class SGD(Optimizer):
                 v += g
                 g = v
             p.data -= self.lr * g
+        bump_data_version()
 
 
 class Adam(Optimizer):
@@ -93,3 +95,4 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        bump_data_version()

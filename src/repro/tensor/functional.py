@@ -4,6 +4,10 @@ These are the numerically careful building blocks the losses use:
 ``logsumexp`` (the Log-Expectation-Exp structure at the heart of SL/BSL),
 stable ``sigmoid``/``softplus`` (BCE/BPR), and ``l2_normalize`` (cosine
 scoring, paper Appendix Table V).
+
+The ``fused_*`` family collapses whole loss expressions into single
+graph nodes with hand-derived vector-Jacobian products; see the
+fused-kernel contract in the :mod:`repro.tensor` module docstring.
 """
 
 from __future__ import annotations
@@ -17,6 +21,8 @@ __all__ = [
     "sigmoid", "softplus", "log_sigmoid", "relu", "leaky_relu",
     "logsumexp", "logmeanexp", "softmax", "l2_normalize", "variance",
     "inner_rows", "pairwise_scores", "euclidean_distance_rows",
+    "fused_logmeanexp", "fused_softmax_loss", "fused_bsl_loss",
+    "fused_infonce_loss",
 ]
 
 
@@ -77,21 +83,17 @@ def logsumexp(x, axis=None, keepdims: bool = False) -> Tensor:
     """Stable ``log sum exp`` with the softmax gradient.
 
     This is the Log-Expectation-Exp structure of Eq. (5)/(18) in the paper
-    (up to the ``log N`` shift handled by :func:`logmeanexp`).
+    (up to the ``log N`` shift handled by :func:`logmeanexp`).  Shares
+    its stabilisation with every fused kernel via
+    :func:`_lse_softmax_raw`, so fused and compositional paths cannot
+    drift apart.
     """
     x = as_tensor(x)
-    m = np.max(x.data, axis=axis, keepdims=True)
-    m = np.where(np.isfinite(m), m, 0.0)
-    shifted = np.exp(x.data - m)
-    s = shifted.sum(axis=axis, keepdims=True)
-    with np.errstate(divide="ignore"):
-        data = np.log(s) + m
+    data, soft = _lse_softmax_raw(x.data, axis)
     if not keepdims and axis is not None:
         data = np.squeeze(data, axis=axis)
     elif not keepdims and axis is None:
         data = data.reshape(())
-    # Degenerate all -inf rows: forward is -inf, gradient is zero.
-    soft = shifted / np.where(s == 0.0, 1.0, s)
 
     def backward(g):
         g = np.asarray(g)
@@ -148,3 +150,173 @@ def euclidean_distance_rows(a, b, eps: float = 1e-12) -> Tensor:
     """Row-wise Euclidean distance, used by the CML baseline."""
     diff = as_tensor(a) - as_tensor(b)
     return ops.sqrt(ops.sum_(diff * diff, axis=-1) + eps)
+
+
+# ----------------------------------------------------------------------
+# Fused loss kernels (single-node forward + hand-derived VJP)
+#
+# Each kernel below is the fast path for a compositional expression
+# defined elsewhere in this module / the loss classes.  They follow the
+# fused-kernel contract documented in :mod:`repro.tensor`: identical
+# stabilisation (max-shift), value agreement to a few ULPs, gradient
+# agreement to <= 1e-6 against finite differences, and the compositional
+# oracle is kept alive behind ``fused=False`` flags in the losses.
+# ----------------------------------------------------------------------
+def _lse_softmax_raw(x: np.ndarray, axis):
+    """Stable ``(logsumexp, softmax)`` pair matching :func:`logsumexp`.
+
+    Shares its conventions exactly: the max-shift is clamped to 0 when a
+    row is all ``-inf`` (forward ``-inf``, gradient 0).
+    """
+    m = np.max(x, axis=axis, keepdims=True)
+    m = np.where(np.isfinite(m), m, 0.0)
+    shifted = np.exp(x - m)
+    s = shifted.sum(axis=axis, keepdims=True)
+    with np.errstate(divide="ignore"):
+        lse = np.log(s) + m
+    soft = shifted / np.where(s == 0.0, 1.0, s)
+    return lse, soft
+
+
+def _reduction_count(shape: tuple, axis) -> int:
+    if axis is None:
+        return int(np.prod(shape)) if shape else 1
+    axes = axis if isinstance(axis, tuple) else (axis,)
+    return int(np.prod([shape[ax] for ax in axes]))
+
+
+def fused_logmeanexp(x, axis=None, keepdims: bool = False) -> Tensor:
+    """``log E[exp(x)]`` as one graph node (oracle: :func:`logmeanexp`).
+
+    The compositional path builds logsumexp + a subtraction node; this
+    kernel evaluates both at once and backpropagates the softmax VJP
+    directly (the ``-log N`` shift has zero gradient).
+    """
+    x = as_tensor(x)
+    count = _reduction_count(x.shape, axis)
+    lse, soft = _lse_softmax_raw(x.data, axis)
+    data = lse - float(np.log(count))
+    if not keepdims and axis is not None:
+        data = np.squeeze(data, axis=axis)
+    elif not keepdims and axis is None:
+        data = data.reshape(())
+
+    def backward(g):
+        g = np.asarray(g)
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis)
+        return (g * soft,)
+
+    return ops._node(data, (x,), backward)
+
+
+def fused_softmax_loss(pos, neg, tau: float, include_positive: bool = False,
+                       scale_by_temperature: bool = False) -> Tensor:
+    """Sampled softmax loss (SL, Eq. 5) as a single fused node.
+
+    Oracle: :meth:`repro.losses.softmax.SoftmaxLoss.compute` with
+    ``fused=False``.  Computes ``mean_b[-pos_b/τ + lse_j(logits_bj)]``
+    (optionally ``×τ``) in one pass; the VJP routes the softmax weights
+    straight to ``pos``/``neg`` without materialising the op chain.
+    """
+    pos, neg = as_tensor(pos), as_tensor(neg)
+    logits = neg.data / tau
+    offset = 0
+    if include_positive:
+        logits = np.concatenate([pos.data[:, None] / tau, logits], axis=1)
+        offset = 1
+    lse, soft = _lse_softmax_raw(logits, axis=1)
+    rows = pos.shape[0]
+    row_loss = -pos.data / tau + np.squeeze(lse, axis=1)
+    loss = row_loss.mean()
+    scale = tau if scale_by_temperature else 1.0
+    data = np.asarray(loss * scale)
+
+    def backward(g):
+        coeff = float(np.asarray(g)) * scale / (rows * tau)
+        grad_pos = np.full(pos.shape, -coeff)
+        if include_positive:
+            grad_pos = grad_pos + coeff * soft[:, 0]
+        grad_neg = coeff * soft[:, offset:]
+        return grad_pos, grad_neg
+
+    return ops._node(data, (pos, neg), backward)
+
+
+def fused_bsl_loss(pos, neg, tau1: float, tau2: float,
+                   pooling: str = "mean") -> Tensor:
+    """Bilateral Softmax Loss (BSL, Eq. 18) as a single fused node.
+
+    Oracle: :meth:`repro.losses.bsl.BSLLoss.compute` with
+    ``fused=False``; both batch estimators are supported:
+
+    * ``"mean"`` — ``mean_b[-pos_b/τ1 + (τ1/τ2)·lme_j(neg_bj/τ2)]``
+    * ``"log_mean_exp"`` — ``-τ1·lme_b[(pos_b - τ2·lme_j(neg_bj/τ2))/τ1]``
+    """
+    pos, neg = as_tensor(pos), as_tensor(neg)
+    rows, n_neg = neg.shape
+    ratio = tau1 / tau2
+    lse, soft = _lse_softmax_raw(neg.data / tau2, axis=1)
+    neg_lme = np.squeeze(lse, axis=1) - float(np.log(n_neg))
+    neg_part = tau2 * neg_lme
+    if pooling == "mean":
+        row_loss = -pos.data / tau1 + (neg_part / tau2) * ratio
+        data = np.asarray(row_loss.mean())
+
+        def backward(g):
+            gs = float(np.asarray(g))
+            grad_pos = np.full(pos.shape, -gs / (rows * tau1))
+            grad_neg = (gs * ratio / (rows * tau2)) * soft
+            return grad_pos, grad_neg
+
+        return ops._node(data, (pos, neg), backward)
+    if pooling != "log_mean_exp":
+        raise ValueError(f"unknown pooling {pooling!r}")
+    margin = (pos.data - neg_part) / tau1
+    m_lse, m_soft = _lse_softmax_raw(margin, axis=0)
+    data = np.asarray(-tau1 * (float(m_lse.reshape(())) - float(np.log(rows))))
+
+    def backward(g):
+        gs = float(np.asarray(g))
+        grad_pos = -gs * m_soft
+        grad_neg = gs * m_soft[:, None] * soft
+        return grad_pos, grad_neg
+
+    return ops._node(data, (pos, neg), backward)
+
+
+def fused_infonce_loss(z1, z2, tau: float, eps: float = 1e-12) -> Tensor:
+    """InfoNCE over two views as a single fused node.
+
+    Oracle: :class:`repro.losses.contrastive.InfoNCELoss` with
+    ``fused=False`` — L2-normalise both views, score all pairs, and
+    optimise each diagonal entry against its row.  The VJP chains the
+    softmax-minus-identity gradient through the matmul and the
+    normalisation projection ``(I - ẑẑᵀ)/‖z‖`` in four BLAS calls.
+    """
+    z1, z2 = as_tensor(z1), as_tensor(z2)
+    if z1.shape != z2.shape or z1.ndim != 2:
+        raise ValueError(f"views must share a 2-D shape, got {z1.shape} "
+                         f"vs {z2.shape}")
+    rows = z1.shape[0]
+    n1 = (z1.data * z1.data).sum(axis=1, keepdims=True) + eps
+    n2 = (z2.data * z2.data).sum(axis=1, keepdims=True) + eps
+    inv1, inv2 = 1.0 / np.sqrt(n1), 1.0 / np.sqrt(n2)
+    z1n, z2n = z1.data * inv1, z2.data * inv2
+    sims = (z1n @ z2n.T) / tau
+    lse, soft = _lse_softmax_raw(sims, axis=1)
+    diag = sims[np.arange(rows), np.arange(rows)]
+    data = np.asarray((-diag + np.squeeze(lse, axis=1)).mean())
+
+    def backward(g):
+        gs = float(np.asarray(g))
+        G = soft.copy()
+        G[np.arange(rows), np.arange(rows)] -= 1.0
+        G *= gs / (rows * tau)
+        g1n = G @ z2n
+        g2n = G.T @ z1n
+        grad_z1 = (g1n - z1n * (g1n * z1n).sum(axis=1, keepdims=True)) * inv1
+        grad_z2 = (g2n - z2n * (g2n * z2n).sum(axis=1, keepdims=True)) * inv2
+        return grad_z1, grad_z2
+
+    return ops._node(data, (z1, z2), backward)

@@ -10,15 +10,69 @@ The public entry point is :class:`Tensor`.  Primitive operations live in
 :mod:`repro.tensor.ops`; composite, numerically stable functions
 (``sigmoid``, ``logsumexp``, ``l2_normalize`` ...) live in
 :mod:`repro.tensor.functional`.
+
+Fused kernels — the fast-path contract
+--------------------------------------
+:mod:`repro.tensor.functional` additionally provides *fused* primitives
+(``fused_logmeanexp``, ``fused_softmax_loss``, ``fused_bsl_loss``,
+``fused_infonce_loss``).  A fused kernel collapses a composite
+expression that would otherwise build ~10 graph nodes into a **single**
+node: the forward pass is one numpy evaluation of the whole expression
+and the backward pass is one hand-derived vector-Jacobian product.
+
+The contract every fused kernel must satisfy:
+
+1. **Value equivalence** — for all inputs in the domain of the
+   compositional expression, the fused forward agrees with the
+   compositional forward to within a few ULPs (tests enforce ≤ 1e-10
+   relative); both use the same max-shift stabilisation, so extreme
+   logits behave identically.
+2. **Gradient equivalence** — the fused VJP agrees with both the
+   compositional autograd gradient and central finite differences to
+   ≤ 1e-6 absolute (``tests/test_tensor_fused.py`` gradchecks every
+   kernel, including broadcast and single-row edge cases).
+3. **Oracle retention** — the compositional implementation is never
+   deleted; callers (the loss classes) keep a ``fused=False`` escape
+   hatch so the slow path remains the executable reference oracle.
+
+To add a new fused VJP: write the compositional version first, derive
+the closed-form gradient, implement forward+backward as one
+``ops._node`` call caching only what backward needs, then register a
+gradcheck against the compositional oracle in
+``tests/test_tensor_fused.py`` before switching any caller's default.
+
+In-place data versioning
+------------------------
+Code that mutates ``Tensor.data`` buffers in place (optimizer steps,
+checkpoint restores, norm projections) must call
+:func:`bump_data_version` afterwards; caches keyed on model parameters
+(e.g. :class:`repro.graph.propagation.PropagationCache`) compare
+:func:`data_version` tokens to detect staleness.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Tensor", "as_tensor", "unbroadcast", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "as_tensor", "unbroadcast", "no_grad", "is_grad_enabled",
+           "data_version", "bump_data_version"]
 
 _GRAD_ENABLED = [True]
+
+# Monotonic counter over in-place mutations of tensor data buffers.
+# See the module docstring ("In-place data versioning") for the contract.
+_DATA_VERSION = [0]
+
+
+def data_version() -> int:
+    """Current global data-version token (changes after any in-place edit)."""
+    return _DATA_VERSION[0]
+
+
+def bump_data_version() -> int:
+    """Advance the data-version token; call after mutating ``.data`` in place."""
+    _DATA_VERSION[0] += 1
+    return _DATA_VERSION[0]
 
 
 class no_grad:

@@ -72,6 +72,11 @@ class Trainer:
             evaluator = Evaluator(dataset, ks=(20,))
         self.evaluator = evaluator
 
+    @property
+    def epoch_rng(self):
+        """RNG driving per-epoch model hooks (public for the perf harness)."""
+        return self._epoch_rng
+
     def _build_sampler(self, rng):
         cfg = self.config
         if cfg.sampler == "in-batch":
@@ -126,25 +131,39 @@ class Trainer:
         if self.evaluator is not None and not result.final_metrics:
             result.final_metrics = self.evaluator.evaluate(self.model).metrics
         self.model.eval()
+        # Don't let a long-lived trained model pin its last training
+        # step's autograd subgraph through the propagation memo.
+        invalidate = getattr(self.model, "invalidate_propagation_cache", None)
+        if invalidate is not None:
+            invalidate()
         return result
 
     def _run_epoch(self) -> float:
         total, count = 0.0, 0
         for batch in self.sampler.epoch():
-            self.optimizer.zero_grad()
-            loss_t = self.model.custom_loss(batch)
-            if loss_t is None:
-                pos, neg = self.model.batch_scores(batch)
-                loss_t = self.loss(pos, neg)
-            aux = self.model.auxiliary_loss(batch)
-            if aux is not None:
-                loss_t = loss_t + aux
-            loss_t.backward()
-            self.optimizer.step()
-            self.model.post_step()
-            total += loss_t.item() * len(batch)
+            total += self.train_step(batch) * len(batch)
             count += len(batch)
         return total / max(count, 1)
+
+    def train_step(self, batch) -> float:
+        """One optimizer step on a prepared batch; returns the batch loss.
+
+        This is the canonical training step — the perf harness
+        (:mod:`repro.experiments.perf`) times exactly this method, so
+        benchmark numbers always measure what training actually runs.
+        """
+        self.optimizer.zero_grad()
+        loss_t = self.model.custom_loss(batch)
+        if loss_t is None:
+            pos, neg = self.model.batch_scores(batch)
+            loss_t = self.loss(pos, neg)
+        aux = self.model.auxiliary_loss(batch)
+        if aux is not None:
+            loss_t = loss_t + aux
+        loss_t.backward()
+        self.optimizer.step()
+        self.model.post_step()
+        return loss_t.item()
 
 
 def train_model(model: Recommender, loss: Loss, dataset: InteractionDataset,

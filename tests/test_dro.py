@@ -164,14 +164,24 @@ class TestLemma2Taylor:
     @settings(max_examples=40, deadline=None)
     @given(_scores_strategy)
     def test_remainder_is_higher_order(self, scores):
-        """|exact - approx| * tau -> 0, i.e. the remainder is o(1/tau)."""
+        """|exact - approx| = O(1/τ²), i.e. the remainder is o(1/τ).
+
+        The remainder expands as ``κ₃/(6τ²) + O(1/τ³)``.  Comparing the
+        remainder at two τ values by ratio is brittle: the two terms can
+        cancel near the smaller τ, making that reference anomalously
+        tiny so that any later value "grows".  Instead pin the decay
+        order directly: remainder·τ² must stay within the third-moment
+        scale that drives it (with 2× slack on the κ₃/6 envelope plus a
+        1/τ allowance for the higher-order terms; scores are bounded in
+        [-1, 1] so those are uniformly controlled).
+        """
         if np.allclose(scores, scores[0]):
             return
-        e_small = approximation_error(scores, 10.0) * 10.0
-        e_large = approximation_error(scores, 100.0) * 100.0
-        # Allow slack for float cancellation when both remainders are
-        # already at numerical-noise scale.
-        assert e_large <= e_small * 1.1 + 1e-8
+        centered = scores - scores.mean()
+        third_moment_scale = float(np.mean(np.abs(centered) ** 3))
+        for tau in (10.0, 100.0):
+            scaled_remainder = approximation_error(scores, tau) * tau ** 2
+            assert scaled_remainder <= third_moment_scale / 3.0 + 1.0 / tau
 
     @settings(max_examples=40, deadline=None)
     @given(_scores_strategy)

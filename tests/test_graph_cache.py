@@ -1,0 +1,135 @@
+"""PropagationCache semantics: hits, invalidation, and training parity."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.graph.propagation import PropagationCache, spmm
+from repro.losses import BSLLoss
+from repro.models.registry import get_model
+from repro.nn.optim import SGD
+from repro.tensor import Tensor, no_grad
+from repro.tensor.tensor import bump_data_version
+
+
+@pytest.fixture()
+def adjacency(tiny_dataset):
+    from repro.graph.adjacency import bipartite_adjacency
+    return bipartite_adjacency(tiny_dataset)
+
+
+class TestCacheMechanics:
+    def test_hit_on_identical_inputs(self, adjacency):
+        cache = PropagationCache()
+        x = Tensor(np.random.default_rng(0).normal(
+            size=(adjacency.shape[1], 4)), requires_grad=True)
+        a = cache.spmm(adjacency, x)
+        b = cache.spmm(adjacency, x)
+        assert a is b
+        assert cache.hits == 1 and cache.misses == 1
+        np.testing.assert_allclose(a.data, spmm(adjacency, x).data)
+
+    def test_miss_after_data_version_bump(self, adjacency):
+        cache = PropagationCache()
+        x = Tensor(np.zeros((adjacency.shape[1], 4)), requires_grad=True)
+        a = cache.spmm(adjacency, x)
+        bump_data_version()
+        b = cache.spmm(adjacency, x)
+        assert a is not b
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_miss_across_grad_mode(self, adjacency):
+        cache = PropagationCache()
+        x = Tensor(np.zeros((adjacency.shape[1], 4)), requires_grad=True)
+        a = cache.spmm(adjacency, x)
+        with no_grad():
+            b = cache.spmm(adjacency, x)
+        assert a is not b
+        assert b._parents == ()
+
+    def test_miss_on_different_matrix_object(self, adjacency):
+        cache = PropagationCache()
+        x = Tensor(np.zeros((adjacency.shape[1], 4)), requires_grad=True)
+        a = cache.spmm(adjacency, x)
+        other = adjacency.copy()
+        b = cache.spmm(other, x)
+        assert a is not b
+
+    def test_optimizer_step_invalidates_model_cache(self, tiny_dataset):
+        model = get_model("lightgcn", tiny_dataset, dim=8, rng=0)
+        u1, _ = model.propagate()
+        u2, _ = model.propagate()
+        assert u1 is u2, "same step must reuse the memoized forward"
+        opt = SGD(model.parameters(), lr=0.1)
+        model.zero_grad()
+        (u1.sum()).backward()
+        opt.step()
+        u3, _ = model.propagate()
+        assert u3 is not u1, "optimizer step must invalidate the memo"
+        assert not np.allclose(u3.data, u1.data)
+
+    def test_failed_checkpoint_load_leaves_params_and_cache_intact(
+            self, tiny_dataset):
+        """A bad checkpoint must not half-load: no writes, cache valid."""
+        model = get_model("lightgcn", tiny_dataset, dim=8, rng=0)
+        u1, _ = model.propagate()
+        before = model.state_dict()
+        bad = dict(before)
+        bad[sorted(bad)[-1]] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            model.load_state_dict(bad)
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(value, before[name])
+        u2, _ = model.propagate()
+        assert u2 is u1, "aborted load must not invalidate the cache"
+
+    def test_explicit_invalidation(self, tiny_dataset):
+        model = get_model("lightgcn", tiny_dataset, dim=8, rng=0)
+        u1, _ = model.propagate()
+        model.invalidate_propagation_cache()
+        u2, _ = model.propagate()
+        assert u1 is not u2
+        np.testing.assert_allclose(u1.data, u2.data)
+
+    def test_cache_disabled_never_reuses(self, tiny_dataset):
+        model = get_model("lightgcn", tiny_dataset, dim=8, rng=0,
+                          cache_propagation=False)
+        u1, _ = model.propagate()
+        u2, _ = model.propagate()
+        assert u1 is not u2
+        np.testing.assert_allclose(u1.data, u2.data)
+
+
+class TestSharedSubgraphGradients:
+    def test_double_use_accumulates_like_recompute(self, tiny_dataset):
+        """loss(main) + loss(aux) over a shared cached forward must
+        backprop exactly like two independent forwards."""
+        grads = {}
+        for cached in (True, False):
+            model = get_model("lightgcn", tiny_dataset, dim=8, rng=0,
+                              cache_propagation=cached)
+            u_a, i_a = model.propagate()
+            u_b, i_b = model.propagate()
+            loss = (u_a * u_a).sum() + (u_b * 2.0).sum() + (i_a * i_b).sum()
+            model.zero_grad()
+            loss.backward()
+            grads[cached] = [p.grad.copy() for p in model.parameters()]
+        for g_cached, g_ref in zip(grads[True], grads[False]):
+            np.testing.assert_allclose(g_cached, g_ref, rtol=1e-12)
+
+
+class TestTrainingParity:
+    @pytest.mark.parametrize("model_name",
+                             ["lightgcn", "sgl", "simgcl", "ncl", "lightgcl"])
+    def test_cached_training_identical(self, tiny_dataset, model_name):
+        from repro.train.trainer import train_model
+        histories = {}
+        for cached in (True, False):
+            model = get_model(model_name, tiny_dataset, dim=8, rng=3)
+            model.cache_propagation = cached
+            result = train_model(model, BSLLoss(), tiny_dataset, epochs=2,
+                                 batch_size=64, n_negatives=8,
+                                 eval_every=0, patience=0, seed=5)
+            histories[cached] = result.loss_history
+        np.testing.assert_allclose(histories[True], histories[False],
+                                   rtol=1e-12, atol=1e-14)
