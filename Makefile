@@ -1,0 +1,27 @@
+# Developer entry points.  The test tiers mirror the root conftest.py:
+# tier-1 must stay fast; everything slow hides behind --runslow.
+#
+#   make verify        tier-1 tests + docs-link checker (CI gate)
+#   make verify-slow   everything, incl. paper-figure benches
+#   make bench         regenerate BENCH_fastpath.json + BENCH_serve.json
+#   make docs-check    just the README/docs reference checker
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: verify verify-slow test docs-check bench
+
+verify: docs-check
+	$(PYTHON) -m pytest -x -q
+
+verify-slow: docs-check
+	$(PYTHON) -m pytest -x -q --runslow
+
+test: verify
+
+docs-check:
+	$(PYTHON) scripts/check_docs.py
+
+bench:
+	$(PYTHON) -m repro.cli perf --out BENCH_fastpath.json
+	$(PYTHON) -m repro.cli perf-serve --out BENCH_serve.json

@@ -1,0 +1,25 @@
+"""Runnable serving perf harness (not collected by pytest).
+
+Thin wrapper over :mod:`repro.experiments.perf` so the benchmark
+directory has a one-command entry point::
+
+    PYTHONPATH=src python benchmarks/serve_perf.py [--out BENCH_serve.json ...]
+
+Trains one (model, loss) cell, exports an embedding snapshot and times
+batched top-K recommendation throughput (exact vs int8-quantized index,
+cold vs warm cache), writing ``BENCH_serve.json`` (schema
+``bsl-serve-bench/v1``).  Equivalent to ``python -m repro.cli perf-serve``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+if __name__ == "__main__":
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    src = repo_root / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    from repro.cli import main
+    raise SystemExit(main(["perf-serve", *sys.argv[1:]]))

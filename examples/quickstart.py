@@ -1,35 +1,51 @@
-"""Quickstart: train MF with SL and BSL, compare against BPR.
+"""Quickstart: train MF with SL and BSL, compare against BPR, then serve.
 
 Reproduces the headline of the paper in miniature: on an implicit-
 feedback dataset, Softmax Loss (SL) beats the classic BPR loss, and the
-proposed Bilateral Softmax Loss (BSL) matches or beats SL.
+proposed Bilateral Softmax Loss (BSL) matches or beats SL.  The script
+then walks the full production path — export the best model to a frozen
+embedding snapshot and answer top-K recommendation requests from it —
+mirroring the CLI flow ``repro train`` → ``repro export`` →
+``repro recommend``.
 
 Run:  python examples/quickstart.py
 """
+
+import tempfile
 
 from repro.data import load_dataset
 from repro.eval import evaluate_model
 from repro.losses import get_loss
 from repro.models import MF
+from repro.serve import RecommendationService, export_snapshot, load_snapshot
 from repro.train import TrainConfig, train_model
 
-def main():
-    dataset = load_dataset("yelp2018-small")
+
+def main(dataset_name: str = "yelp2018-small", epochs: int = 20,
+         dim: int = 64, snapshot_dir: str | None = None) -> dict:
+    """Train the three losses, evaluate, then export + serve the winner.
+
+    Parameters are exposed so the test suite can run the whole script
+    cheaply (tiny dataset, two epochs); the defaults reproduce the
+    paper-scale comparison.  Returns the metrics per loss.
+    """
+    dataset = load_dataset(dataset_name)
     print(f"Dataset: {dataset}\n")
 
-    config = TrainConfig(epochs=20, batch_size=1024, learning_rate=5e-2,
+    config = TrainConfig(epochs=epochs, batch_size=1024, learning_rate=5e-2,
                          n_negatives=128, seed=0)
 
-    results = {}
+    results, models = {}, {}
     for name, loss in [
         ("BPR", get_loss("bpr")),
         ("SL", get_loss("sl", tau=0.4)),
         ("BSL", get_loss("bsl", tau1=0.44, tau2=0.4)),
     ]:
-        model = MF(dataset.num_users, dataset.num_items, dim=64, rng=0)
+        model = MF(dataset.num_users, dataset.num_items, dim=dim, rng=0)
         train_result = train_model(model, loss, dataset, config)
         metrics = evaluate_model(model, dataset).metrics
         results[name] = metrics
+        models[name] = model
         print(f"MF+{name:<4}  recall@20={metrics['recall@20']:.4f}  "
               f"ndcg@20={metrics['ndcg@20']:.4f}  "
               f"(final loss {train_result.final_loss:.4f})")
@@ -37,6 +53,20 @@ def main():
     gain = 100 * (results["SL"]["ndcg@20"] / results["BPR"]["ndcg@20"] - 1)
     print(f"\nSL improves NDCG@20 over BPR by {gain:+.1f}% "
           "(the paper's Fig. 1 effect).")
+
+    # ------------------------------------------------------------------
+    # Serving: freeze the BSL model and answer live-style requests.
+    # ------------------------------------------------------------------
+    out_dir = snapshot_dir or tempfile.mkdtemp(prefix="bsl-snapshot-")
+    export_snapshot(models["BSL"], dataset, out_dir, model_name="mf",
+                    extra={"loss": "bsl"})
+    service = RecommendationService(load_snapshot(out_dir))
+    print(f"\nExported snapshot {service.snapshot.version} to {out_dir}")
+    for rec in service.recommend([0, 1, 2], k=5):
+        items = " ".join(f"{i:>4d}" for i in rec.items.tolist())
+        print(f"recommend(user={rec.user_id}, k=5) -> {items}")
+    print(f"service: {service!r}")
+    return results
 
 
 if __name__ == "__main__":

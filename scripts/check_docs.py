@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Docs-link checker: README/docs references must not rot.
+
+Scans ``README.md`` and every ``docs/*.md`` for three kinds of
+references and fails if any is dangling:
+
+* **Relative markdown links** — ``[text](path)`` targets that are not
+  URLs or intra-page anchors must exist on disk (resolved relative to
+  the file containing the link).
+* **Repo file paths in inline code** — `` `src/repro/...` ``-style
+  mentions of files under ``src/``, ``docs/``, ``tests/``,
+  ``benchmarks/``, ``examples/`` or ``scripts/`` must exist.
+* **CLI verbs** — every ``repro <verb>`` / ``repro.cli <verb>`` mention
+  must be a real subcommand of the argparse tree in
+  :mod:`repro.cli` (so renaming a verb without updating the docs
+  fails verification).
+
+Run directly (``python scripts/check_docs.py``) or via
+``scripts/verify.sh`` / ``make verify``; ``tests/test_docs.py`` runs the
+same checks under pytest so tier-1 catches rot too.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: top-level prefixes whose inline-code mentions are checked on disk
+_PATH_PREFIXES = ("src/", "docs/", "tests/", "benchmarks/", "examples/",
+                  "scripts/")
+
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)#][^)]*)\)")
+_INLINE_CODE = re.compile(r"`([^`\n]+)`")
+_CLI_VERB = re.compile(r"\brepro(?:\.cli)?\s+([a-z][a-z0-9-]*)\b")
+
+#: words following "repro"/"repro.cli" in prose that are not verbs
+_VERB_STOPWORDS = {"command", "package", "verbs", "subcommand", "module"}
+
+
+def doc_files() -> list[pathlib.Path]:
+    """README plus everything under docs/ (the checked corpus)."""
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def cli_verbs() -> set[str]:
+    """Subcommand names of the real argparse tree."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.cli import build_parser
+    finally:
+        sys.path.pop(0)
+    parser = build_parser()
+    for action in parser._actions:  # noqa: SLF001 - argparse has no API
+        if hasattr(action, "choices") and action.choices:
+            return set(action.choices)
+    return set()
+
+
+def check_file(path: pathlib.Path, verbs: set[str]) -> list[str]:
+    """Return a list of human-readable problems found in one file."""
+    problems = []
+    text = path.read_text()
+    rel = path.relative_to(REPO_ROOT)
+
+    for match in _MD_LINK.finditer(text):
+        target = match.group(1).strip()
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#")[0]
+        if target and not (path.parent / target).exists():
+            problems.append(f"{rel}: dangling link target {target!r}")
+
+    for match in _INLINE_CODE.finditer(text):
+        code = match.group(1).strip()
+        if code.startswith(_PATH_PREFIXES) and " " not in code:
+            if not (REPO_ROOT / code).exists():
+                problems.append(f"{rel}: referenced file {code!r} missing")
+
+    for match in _CLI_VERB.finditer(text):
+        verb = match.group(1)
+        if verb in _VERB_STOPWORDS:
+            continue
+        if verb not in verbs:
+            problems.append(f"{rel}: unknown CLI verb `repro {verb}`")
+
+    return problems
+
+
+def main() -> int:
+    """Check every doc file; print problems and return their count."""
+    verbs = cli_verbs()
+    problems = []
+    files = doc_files()
+    if not files:
+        problems.append("no documentation files found (README.md missing?)")
+    for path in files:
+        problems.extend(check_file(path, verbs))
+    for problem in problems:
+        print(f"docs-check: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"docs-check: {len(files)} files OK "
+              f"({', '.join(str(f.relative_to(REPO_ROOT)) for f in files)})")
+    return len(problems)
+
+
+if __name__ == "__main__":
+    raise SystemExit(min(main(), 1))

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Repo verification: tier-1 tests + docs checker, optionally the slow tier.
+#
+# Usage:
+#   scripts/verify.sh             # tier-1: fast tests + docs-link check
+#   scripts/verify.sh --runslow   # everything, incl. paper-figure benches
+#
+# Also available as `make verify` / `make verify-slow`.  The tier-1
+# command must stay fast (seconds, not minutes): slow tests are gated
+# behind --runslow by the root conftest.py.
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+RUNSLOW=""
+for arg in "$@"; do
+    case "$arg" in
+        --runslow) RUNSLOW="--runslow" ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "== docs checker =="
+python scripts/check_docs.py
+
+echo "== pytest ${RUNSLOW:-(tier-1)} =="
+# shellcheck disable=SC2086
+python -m pytest -x -q $RUNSLOW

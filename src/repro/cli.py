@@ -7,6 +7,11 @@ Subcommands:
 * ``sweep-tau`` — quick SL temperature sweep on one dataset.
 * ``perf`` — time train-step / eval throughput and write
   ``BENCH_fastpath.json`` (the fast-path perf trajectory).
+* ``export`` — train (or load a checkpoint) and freeze the model into a
+  serving snapshot directory (:mod:`repro.serve`).
+* ``recommend`` — answer top-K requests from an exported snapshot.
+* ``perf-serve`` — time snapshot serving throughput and write
+  ``BENCH_serve.json`` (the serving perf trajectory).
 """
 
 from __future__ import annotations
@@ -19,8 +24,12 @@ from repro.experiments.report import print_series, print_table
 from repro.losses import loss_names
 from repro.models import model_names
 
+#: Default request-side knobs shared by ``recommend`` and the docs.
+DEFAULT_TOP_K = 10
+
 
 def _cmd_datasets(_args) -> int:
+    """List every built-in synthetic preset with its Table-I statistics."""
     rows = []
     for name in dataset_names():
         ds = load_dataset(name)
@@ -32,18 +41,24 @@ def _cmd_datasets(_args) -> int:
     return 0
 
 
-def _cmd_train(args) -> int:
+def _train_spec(args) -> ExperimentSpec:
+    """Translate parsed ``train``/``export`` flags into an ExperimentSpec."""
     loss_kwargs = {}
     if args.loss == "sl":
         loss_kwargs = {"tau": args.tau}
     elif args.loss == "bsl":
         loss_kwargs = {"tau1": args.tau1 or args.tau, "tau2": args.tau}
-    spec = ExperimentSpec(
+    return ExperimentSpec(
         dataset=args.dataset, model=args.model, loss=args.loss,
         loss_kwargs=loss_kwargs, dim=args.dim, epochs=args.epochs,
         learning_rate=args.lr, n_negatives=args.negatives,
-        positive_noise=args.positive_noise, rnoise=args.rnoise,
-        seed=args.seed)
+        positive_noise=getattr(args, "positive_noise", 0.0),
+        rnoise=getattr(args, "rnoise", 0.0), seed=args.seed)
+
+
+def _cmd_train(args) -> int:
+    """Train one experiment cell and print its evaluation metrics."""
+    spec = _train_spec(args)
     result = run_experiment(spec, verbose=args.verbose)
     print_table(f"{args.model}+{args.loss} on {args.dataset}",
                 ["metric", "value"],
@@ -52,6 +67,7 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_sweep_tau(args) -> int:
+    """Sweep the SL temperature on one dataset and report the best tau."""
     taus = [float(t) for t in args.taus.split(",")]
     values = []
     for tau in taus:
@@ -66,6 +82,7 @@ def _cmd_sweep_tau(args) -> int:
 
 
 def _cmd_perf(args) -> int:
+    """Run the fast-path perf suite and write ``BENCH_fastpath.json``."""
     from repro.experiments.perf import (PerfConfig, run_perf_suite,
                                         summarize, write_report)
     config = PerfConfig(
@@ -83,7 +100,98 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _cmd_export(args) -> int:
+    """Freeze a trained backbone into a serving snapshot directory.
+
+    Either trains the requested cell from scratch (the default) or, with
+    ``--checkpoint``, rebuilds the model and loads previously saved
+    parameters before exporting.
+    """
+    from repro.serve import export_snapshot
+
+    if args.checkpoint:
+        from repro.models import get_model
+        from repro.train.checkpoint import load_checkpoint
+        dataset = load_dataset(args.dataset)
+        model = get_model(args.model, dataset, dim=args.dim, rng=args.seed)
+        load_checkpoint(model, args.checkpoint)
+    else:
+        result = run_experiment(_train_spec(args))
+        model, dataset = result.model, result.dataset
+        print_table(f"trained {args.model}+{args.loss} on {args.dataset}",
+                    ["metric", "value"],
+                    [[k, v] for k, v in sorted(result.metrics.items())])
+    snapshot = export_snapshot(
+        model, dataset, args.out, model_name=args.model,
+        extra={"loss": args.loss, "epochs": args.epochs,
+               "checkpoint": args.checkpoint or ""})
+    manifest = snapshot.manifest
+    print_table(f"snapshot {args.out}", ["field", "value"],
+                [["version", manifest.version], ["model", manifest.model],
+                 ["dim", manifest.dim], ["users", manifest.num_users],
+                 ["items", manifest.num_items],
+                 ["scoring", manifest.scoring]], precision=0)
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    """Serve top-K recommendations for a list of users from a snapshot."""
+    from repro.serve import RecommendationService, build_index, load_snapshot
+
+    snapshot = load_snapshot(args.snapshot, verify=args.verify)
+    index = build_index(snapshot, args.index)
+    service = RecommendationService(snapshot, index=index)
+    users = [int(u) for u in args.users.split(",")]
+    rows = []
+    for rec in service.recommend(users, k=args.k,
+                                 filter_seen=not args.no_filter_seen):
+        rows.append([rec.user_id,
+                     " ".join(str(i) for i in rec.items.tolist()),
+                     " ".join(f"{s:.4f}" for s in rec.scores.tolist())])
+    print_table(
+        f"top-{args.k} from {args.snapshot} "
+        f"({index.kind}, snapshot {snapshot.version})",
+        ["user", "items", "scores"], rows, precision=0)
+    return 0
+
+
+def _cmd_perf_serve(args) -> int:
+    """Run the serving perf suite and write ``BENCH_serve.json``."""
+    from repro.experiments.perf import (ServePerfConfig, run_serve_suite,
+                                        summarize_serve, write_report)
+    config = ServePerfConfig(
+        dataset=args.dataset, model=args.model, loss=args.loss,
+        epochs=args.epochs, dim=args.dim, k=args.k,
+        batch_sizes=tuple(int(b) for b in args.batch_sizes.split(",")),
+        repeats=args.repeats, request_users=args.request_users,
+        include_quantized=not args.no_quantized, seed=args.seed)
+    payload = run_serve_suite(config)
+    write_report(payload, args.out)
+    print(summarize_serve(payload))
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _add_train_cell_args(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every verb that trains one (model, loss) cell."""
+    parser.add_argument("--dataset", default="yelp2018-small",
+                        choices=dataset_names())
+    parser.add_argument("--model", default="mf", choices=model_names())
+    parser.add_argument("--loss", default="bsl", choices=loss_names())
+    parser.add_argument("--tau", type=float, default=0.4,
+                        help="SL temperature / BSL tau2")
+    parser.add_argument("--tau1", type=float, default=None,
+                        help="BSL positive temperature (default: tau)")
+    parser.add_argument("--dim", type=int, default=64)
+    parser.add_argument("--epochs", type=int, default=25)
+    parser.add_argument("--lr", type=float, default=5e-2)
+    parser.add_argument("--negatives", type=int, default=128)
+    parser.add_argument("--seed", type=int, default=0)
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """Construct the full ``repro`` argparse tree (used by the CLI and
+    by ``tests/test_docs.py`` to validate README command examples)."""
     parser = argparse.ArgumentParser(
         prog="repro", description="BSL reproduction command line")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -91,21 +199,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("datasets", help="list built-in dataset presets")
 
     train = sub.add_parser("train", help="train one experiment cell")
-    train.add_argument("--dataset", default="yelp2018-small",
-                       choices=dataset_names())
-    train.add_argument("--model", default="mf", choices=model_names())
-    train.add_argument("--loss", default="bsl", choices=loss_names())
-    train.add_argument("--tau", type=float, default=0.4,
-                       help="SL temperature / BSL tau2")
-    train.add_argument("--tau1", type=float, default=None,
-                       help="BSL positive temperature (default: tau)")
-    train.add_argument("--dim", type=int, default=64)
-    train.add_argument("--epochs", type=int, default=25)
-    train.add_argument("--lr", type=float, default=5e-2)
-    train.add_argument("--negatives", type=int, default=128)
+    _add_train_cell_args(train)
     train.add_argument("--positive-noise", type=float, default=0.0)
     train.add_argument("--rnoise", type=float, default=0.0)
-    train.add_argument("--seed", type=int, default=0)
     train.add_argument("--verbose", action="store_true")
 
     sweep = sub.add_parser("sweep-tau", help="SL temperature sweep")
@@ -135,13 +231,59 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip the compositional/uncached baseline rows")
     perf.add_argument("--seed", type=int, default=0)
     perf.add_argument("--out", default="BENCH_fastpath.json")
+
+    export = sub.add_parser(
+        "export", help="train (or load) a model and export a serving snapshot")
+    _add_train_cell_args(export)
+    export.add_argument("--checkpoint", default=None,
+                        help="load parameters from a .npz checkpoint "
+                             "instead of training")
+    export.add_argument("--out", default="snapshot",
+                        help="snapshot output directory")
+
+    recommend = sub.add_parser(
+        "recommend", help="top-K recommendations from an exported snapshot")
+    recommend.add_argument("--snapshot", required=True,
+                           help="snapshot directory written by `repro export`")
+    recommend.add_argument("--users", default="0,1,2",
+                           help="comma-separated user ids")
+    recommend.add_argument("--k", type=int, default=DEFAULT_TOP_K)
+    recommend.add_argument("--index", default="exact",
+                           choices=("exact", "quantized"))
+    recommend.add_argument("--no-filter-seen", action="store_true",
+                           help="keep already-interacted items in the lists")
+    recommend.add_argument("--verify", action="store_true",
+                           help="check the snapshot content hash before serving")
+
+    perf_serve = sub.add_parser(
+        "perf-serve",
+        help="time snapshot serving throughput, write BENCH_serve.json")
+    perf_serve.add_argument("--dataset", default="yelp2018-small",
+                            choices=dataset_names())
+    perf_serve.add_argument("--model", default="mf", choices=model_names())
+    perf_serve.add_argument("--loss", default="bsl", choices=loss_names())
+    perf_serve.add_argument("--epochs", type=int, default=8)
+    perf_serve.add_argument("--dim", type=int, default=64)
+    perf_serve.add_argument("--k", type=int, default=DEFAULT_TOP_K)
+    perf_serve.add_argument("--batch-sizes", default="1,16,256",
+                            help="comma-separated request batch sizes")
+    perf_serve.add_argument("--repeats", type=int, default=3)
+    perf_serve.add_argument("--request-users", type=int, default=1024,
+                            help="request stream length per timing pass")
+    perf_serve.add_argument("--no-quantized", action="store_true",
+                            help="skip the int8 index rows")
+    perf_serve.add_argument("--seed", type=int, default=0)
+    perf_serve.add_argument("--out", default="BENCH_serve.json")
     return parser
 
 
 def main(argv=None) -> int:
+    """Parse ``argv`` (default: ``sys.argv``) and dispatch a subcommand."""
     args = build_parser().parse_args(argv)
     handlers = {"datasets": _cmd_datasets, "train": _cmd_train,
-                "sweep-tau": _cmd_sweep_tau, "perf": _cmd_perf}
+                "sweep-tau": _cmd_sweep_tau, "perf": _cmd_perf,
+                "export": _cmd_export, "recommend": _cmd_recommend,
+                "perf-serve": _cmd_perf_serve}
     return handlers[args.command](args)
 
 

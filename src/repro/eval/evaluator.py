@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.data.dataset import InteractionDataset
 from repro.eval import metrics as M
+from repro.eval.masking import mask_seen_items, seen_items_csr
 from repro.models.base import Recommender
 
 __all__ = ["EvalResult", "Evaluator", "evaluate_model", "evaluate_scores"]
@@ -86,15 +87,8 @@ class Evaluator:
         # Flattened train-interaction layout over the test users, so
         # per-chunk masking is two array slices instead of per-user
         # Python concatenation on every evaluate() pass.
-        train_counts = np.array(
-            [len(dataset.train_items_by_user[u]) for u in self._test_users],
-            dtype=np.int64)
-        self._train_indptr = np.concatenate(
-            [np.zeros(1, dtype=np.int64), np.cumsum(train_counts)])
-        self._train_cols = (np.concatenate(
-            [np.asarray(dataset.train_items_by_user[u], dtype=np.int64)
-             for u in self._test_users])
-            if train_counts.sum() else np.empty(0, dtype=np.int64))
+        self._train_indptr, self._train_cols = seen_items_csr(
+            [dataset.train_items_by_user[u] for u in self._test_users])
         self._test_pos = np.full(dataset.num_users, -1, dtype=np.int64)
         self._test_pos[self._test_users] = np.arange(len(self._test_users))
         # Ranked-list width is fixed: hoist the shared discount/IDCG
@@ -174,21 +168,16 @@ class Evaluator:
     def _mask_train_items(self, scores: np.ndarray, users: np.ndarray) -> None:
         """Mask already-seen items with one vectorized scatter per chunk.
 
-        Contiguous runs of test users (every chunk produced by
-        :meth:`evaluate`) hit the precomputed flattened layout; any
-        other user set falls back to the per-user scatter.
+        Any set of test users (contiguous or not) hits the precomputed
+        flattened layout via :func:`repro.eval.masking.mask_seen_items`
+        — the same scatter the serving indexes use; users outside the
+        test set fall back to the per-user scatter.
         """
         if not len(users):
             return
         pos = self._test_pos[np.asarray(users, dtype=np.int64)]
-        if np.all(pos >= 0) and np.all(np.diff(pos) == 1):
-            start = self._train_indptr[pos[0]]
-            stop = self._train_indptr[pos[-1] + 1]
-            cols = self._train_cols[start:stop]
-            if cols.size:
-                counts = np.diff(self._train_indptr[pos[0]:pos[-1] + 2])
-                rows = np.repeat(np.arange(len(users)), counts)
-                scores[rows, cols] = -np.inf
+        if np.all(pos >= 0):
+            mask_seen_items(scores, self._train_indptr, self._train_cols, pos)
             return
         for row, u in enumerate(users):
             items = self.dataset.train_items_by_user[u]

@@ -1,26 +1,39 @@
-"""Fast-path performance harness.
+"""Fast-path and serving performance harnesses.
 
-Times the two hot loops of the reproduction — the training step
-(forward + backward + Adam) and full-ranking evaluation — per
-(model, loss) cell, for both the fused/cached fast path and the
-compositional/uncached reference path, and emits the results as
-``BENCH_fastpath.json`` in a stable schema so the perf trajectory of
-the codebase is tracked across PRs.
+Times the hot loops of the reproduction and emits results in stable
+JSON schemas so the perf trajectory of the codebase is tracked across
+PRs:
+
+* the **fast-path suite** times the training step (forward + backward +
+  Adam) and full-ranking evaluation per (model, loss) cell, for both
+  the fused/cached fast path and the compositional/uncached reference
+  path → ``BENCH_fastpath.json``;
+* the **serve suite** trains one cell, exports a serving snapshot
+  (:mod:`repro.serve`) and times batched top-K recommendation
+  throughput — exact vs int8-quantized index, cold vs warm result
+  cache, across request batch sizes — plus the quantized index's
+  top-K overlap with the exact path → ``BENCH_serve.json``.
 
 Programmatic entry points:
 
 * :func:`time_train_steps` — ms/step for one (model, loss) cell.
 * :func:`time_eval` — users/s for one model's full-ranking pass.
-* :func:`run_perf_suite` — the whole grid; returns the JSON payload.
+* :func:`run_perf_suite` — the fast-path grid; returns the JSON payload.
+* :func:`time_recommend` — users/s through a recommendation service.
+* :func:`run_serve_suite` — the serving grid; returns the JSON payload.
 
-CLI: ``python -m repro.cli perf`` (or ``python benchmarks/perf.py``).
+CLI: ``python -m repro.cli perf`` / ``python -m repro.cli perf-serve``
+(or ``python benchmarks/perf.py`` / ``python benchmarks/serve_perf.py``).
 """
 
 from __future__ import annotations
 
 import json
+import tempfile
 import time
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.data.synthetic import load_dataset
 from repro.eval.evaluator import Evaluator
@@ -30,11 +43,16 @@ from repro.tensor.tensor import bump_data_version
 from repro.train.config import TrainConfig
 from repro.train.trainer import Trainer
 
-__all__ = ["SCHEMA", "PerfConfig", "time_train_steps", "time_eval",
-           "run_perf_suite", "write_report"]
+__all__ = ["SCHEMA", "SERVE_SCHEMA", "PerfConfig", "ServePerfConfig",
+           "time_train_steps", "time_eval", "run_perf_suite",
+           "time_recommend", "topk_overlap", "run_serve_suite",
+           "write_report", "summarize", "summarize_serve"]
 
 #: Bump the suffix when the payload layout changes incompatibly.
 SCHEMA = "bsl-fastpath-bench/v1"
+
+#: Schema of the serving-throughput payload (``BENCH_serve.json``).
+SERVE_SCHEMA = "bsl-serve-bench/v1"
 
 
 @dataclass
@@ -198,10 +216,198 @@ def run_perf_suite(config: PerfConfig | None = None) -> dict:
 
 
 def write_report(payload: dict, path) -> None:
-    """Persist a payload produced by :func:`run_perf_suite`."""
+    """Persist a payload produced by either ``run_*_suite`` function."""
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=False)
         fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Serving throughput (BENCH_serve.json)
+# ----------------------------------------------------------------------
+@dataclass
+class ServePerfConfig:
+    """Knobs for one serving-throughput run.
+
+    One (dataset, model, loss) cell is trained for ``epochs``, exported
+    to a temporary snapshot, then swept: for each index kind and each
+    request batch size, recommendation throughput is timed cold
+    (cache disabled) and once warm (every request a cache hit).
+    """
+
+    dataset: str = "yelp2018-small"
+    model: str = "mf"
+    loss: str = "bsl"
+    epochs: int = 8
+    dim: int = 64
+    k: int = 10
+    batch_sizes: tuple = (1, 16, 256)
+    repeats: int = 3
+    #: distinct request users per timing pass (cycled over the user set)
+    request_users: int = 1024
+    max_batch: int = 256
+    include_quantized: bool = True
+    seed: int = 0
+    extra_info: dict = field(default_factory=dict)
+
+
+def time_recommend(service, users: np.ndarray, *, batch_size: int,
+                   k: int = 10, repeats: int = 3,
+                   label: str = "cold") -> dict:
+    """Time ``service.recommend`` over ``users`` in ``batch_size`` slices.
+
+    Runs one untimed warmup pass (which also populates the service's
+    cache, so with a cache-enabled service the timed passes measure the
+    warm path) and then ``repeats`` timed passes.  Returns a result row
+    of the ``serve`` kind.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+
+    def one_pass() -> None:
+        for lo in range(0, len(users), batch_size):
+            service.recommend(users[lo:lo + batch_size], k=k)
+
+    one_pass()
+    start = time.perf_counter()
+    for _ in range(repeats):
+        one_pass()
+    elapsed = time.perf_counter() - start
+    return {
+        "kind": "serve",
+        "index": service.index.kind,
+        "cache": label,
+        "batch_size": batch_size,
+        "k": k,
+        "users": int(len(users)),
+        "repeats": repeats,
+        "total_s": elapsed,
+        "users_per_s": len(users) * repeats / elapsed if elapsed > 0
+        else float("inf"),
+        "ms_per_batch": (1e3 * elapsed
+                         / (repeats * -(-len(users) // batch_size))),
+        "cache_hit_rate": service.stats.hit_rate,
+    }
+
+
+def topk_overlap(exact_index, other_index, users: np.ndarray,
+                 k: int = 10) -> float:
+    """Mean fraction of the exact top-``k`` recovered by another index.
+
+    This is the serving analogue of recall@k with the exact index as
+    ground truth — the acceptance metric for the quantized path.
+    """
+    exact = exact_index.topk(users, k=k).items
+    other = other_index.topk(users, k=k).items
+    per_user = [len(set(a.tolist()) & set(b.tolist())) / exact.shape[1]
+                for a, b in zip(exact, other)]
+    return float(np.mean(per_user))
+
+
+def run_serve_suite(config: ServePerfConfig | None = None) -> dict:
+    """Train, export and sweep the serving stack; return the payload."""
+    from repro.serve import (ExactTopKIndex, QuantizedTopKIndex,
+                             RecommendationService, export_snapshot,
+                             load_snapshot)
+    config = config or ServePerfConfig()
+    dataset = load_dataset(config.dataset)
+    model = get_model(config.model, dataset, dim=config.dim, rng=config.seed)
+    loss = get_loss(config.loss)
+    train_config = TrainConfig(epochs=config.epochs, eval_every=0, patience=0,
+                               seed=config.seed)
+    Trainer(model, loss, dataset, train_config, evaluator=None).fit()
+
+    # Request stream: cycled independent permutations, not draws with
+    # replacement — recommend() dedups repeated users inside a batch
+    # even with the cache off, so a duplicate-heavy stream would
+    # overstate cold per-user throughput.
+    rng = np.random.default_rng(config.seed)
+    cycles = -(-config.request_users // dataset.num_users)
+    users = np.concatenate([rng.permutation(dataset.num_users)
+                            for _ in range(cycles)])[
+        :config.request_users].astype(np.int64)
+    results = []
+    with tempfile.TemporaryDirectory() as tmp:
+        export_snapshot(model, dataset, tmp, model_name=config.model,
+                        extra={"loss": config.loss, "epochs": config.epochs})
+        snapshot = load_snapshot(tmp)
+        indexes = [ExactTopKIndex(snapshot)]
+        if config.include_quantized:
+            quantized = QuantizedTopKIndex(snapshot)
+            indexes.append(quantized)
+            results.append({
+                "kind": "overlap",
+                "index": "quantized",
+                "k": config.k,
+                "users": int(dataset.num_users),
+                "overlap_at_k": topk_overlap(
+                    indexes[0], quantized,
+                    np.arange(dataset.num_users, dtype=np.int64),
+                    k=config.k),
+                "table_bytes": int(quantized.table_bytes),
+                "exact_table_bytes": int(
+                    np.asarray(snapshot.items).nbytes),
+            })
+        for index in indexes:
+            for batch_size in config.batch_sizes:
+                # max_batch must not cap the swept batch size, or rows
+                # for different large batch sizes would all silently
+                # measure max_batch-sized index sweeps.
+                cold = RecommendationService(
+                    snapshot, index=index, cache_size=0,
+                    max_batch=max(config.max_batch, batch_size))
+                results.append(time_recommend(
+                    cold, users, batch_size=batch_size, k=config.k,
+                    repeats=config.repeats, label="cold"))
+            warm = RecommendationService(
+                snapshot, index=index,
+                max_batch=max(config.max_batch, *config.batch_sizes),
+                cache_size=2 * config.request_users)
+            results.append(time_recommend(
+                warm, users, batch_size=max(config.batch_sizes), k=config.k,
+                repeats=config.repeats, label="warm"))
+        snapshot_version = snapshot.version
+    return {
+        "schema": SERVE_SCHEMA,
+        "created_unix": time.time(),
+        "dataset": config.dataset,
+        "snapshot_version": snapshot_version,
+        "config": {
+            "model": config.model,
+            "loss": config.loss,
+            "epochs": config.epochs,
+            "dim": config.dim,
+            "k": config.k,
+            "batch_sizes": list(config.batch_sizes),
+            "repeats": config.repeats,
+            "request_users": config.request_users,
+            "max_batch": config.max_batch,
+            "include_quantized": config.include_quantized,
+            "seed": config.seed,
+            **config.extra_info,
+        },
+        "results": results,
+    }
+
+
+def summarize_serve(payload: dict) -> str:
+    """Human-readable throughput/overlap table for one serve payload."""
+    lines = [f"serve suite on {payload['dataset']} "
+             f"(schema {payload['schema']}, "
+             f"snapshot {payload['snapshot_version']})"]
+    for row in payload["results"]:
+        if row["kind"] == "overlap":
+            ratio = row["exact_table_bytes"] / row["table_bytes"]
+            lines.append(f"  overlap@{row['k']} quantized-vs-exact: "
+                         f"{row['overlap_at_k']:.4f}  "
+                         f"(catalogue {ratio:.1f}x smaller)")
+        elif row["kind"] == "serve":
+            lines.append(f"  serve {row['index']:<9} batch={row['batch_size']:<4}"
+                         f" cache={row['cache']:<4}: "
+                         f"{row['users_per_s']:,.0f} users/s")
+    return "\n".join(lines)
 
 
 def summarize(payload: dict) -> str:

@@ -1,0 +1,36 @@
+"""Online serving: embedding snapshots, top-K indexes, request front end.
+
+The offline stack (train → evaluate) hands a trained backbone to this
+package, which freezes it into a memory-mappable
+:class:`~repro.serve.snapshot.EmbeddingSnapshot`, retrieves over it with
+an exact or int8-quantized :class:`~repro.serve.index.TopKIndex`, and
+answers batched user requests through
+:class:`~repro.serve.service.RecommendationService`.
+
+Typical flow (also available as ``repro export`` / ``repro recommend``)::
+
+    from repro.serve import export_snapshot, load_snapshot
+    from repro.serve import RecommendationService
+
+    export_snapshot(trained_model, dataset, "snapshots/mf-bsl")
+    service = RecommendationService(load_snapshot("snapshots/mf-bsl"))
+    for rec in service.recommend([3, 14, 15], k=10):
+        print(rec.user_id, rec.items)
+"""
+
+from repro.serve.index import (ExactTopKIndex, QuantizedTopKIndex, TopKIndex,
+                               TopKResult, build_index)
+from repro.serve.service import (LRUCache, PendingRequest, Recommendation,
+                                 RecommendationService, ServiceStats)
+from repro.serve.snapshot import (SNAPSHOT_SCHEMA, EmbeddingSnapshot,
+                                  SnapshotManifest, export_snapshot,
+                                  load_snapshot)
+
+__all__ = [
+    "SNAPSHOT_SCHEMA", "SnapshotManifest", "EmbeddingSnapshot",
+    "export_snapshot", "load_snapshot",
+    "TopKResult", "TopKIndex", "ExactTopKIndex", "QuantizedTopKIndex",
+    "build_index",
+    "Recommendation", "ServiceStats", "LRUCache", "PendingRequest",
+    "RecommendationService",
+]

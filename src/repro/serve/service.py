@@ -1,0 +1,264 @@
+"""Batched recommendation front end over a top-K index.
+
+:class:`RecommendationService` is the request-facing layer of the
+serving stack.  It adds two things on top of an index:
+
+* **Result caching** — an LRU of finished ``(items, scores)`` lists
+  keyed on ``(snapshot version, index kind, user, k, filter_seen)``.
+  Keying on the snapshot's content hash means a cache can never serve
+  results from a previous model export: load a new snapshot and every
+  old entry misses by construction.
+* **Request micro-batching** — single-user lookups submitted via
+  :meth:`submit` are coalesced and executed as one batched index sweep
+  per :attr:`max_batch` requests (or on :meth:`flush`), amortizing the
+  per-call matmul setup the way an online gateway batches concurrent
+  traffic.  The vectorized :meth:`recommend` path chops arbitrarily
+  large user batches into the same ``max_batch`` sweeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.serve.index import ExactTopKIndex, TopKIndex
+from repro.serve.snapshot import EmbeddingSnapshot
+
+__all__ = ["Recommendation", "ServiceStats", "LRUCache", "PendingRequest",
+           "RecommendationService"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Recommendation:
+    """Top-K answer for one user, best item first.
+
+    ``items``/``scores`` are read-only views shared with the service's
+    result cache — call ``.copy()`` before mutating them.
+    """
+
+    user_id: int
+    items: np.ndarray
+    scores: np.ndarray
+    snapshot_version: str
+    from_cache: bool = False
+
+
+@dataclasses.dataclass
+class ServiceStats:
+    """Lifetime counters (exported into the serve benchmark payload)."""
+
+    requests: int = 0
+    users_served: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    index_sweeps: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+class LRUCache:
+    """Minimal ordered-dict LRU used for finished recommendations."""
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        """Return the cached value (refreshing recency) or ``None``."""
+        if key not in self._data:
+            return None
+        self._data.move_to_end(key)
+        return self._data[key]
+
+    def put(self, key, value) -> None:
+        """Insert/refresh a value, evicting the least recent past capacity."""
+        if self.capacity == 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        """Drop every cached entry."""
+        self._data.clear()
+
+
+class PendingRequest:
+    """Handle for a micro-batched single-user lookup.
+
+    ``result()`` returns the :class:`Recommendation`, flushing the
+    service's pending queue first if this request has not been executed
+    yet.
+    """
+
+    __slots__ = ("user_id", "k", "filter_seen", "_service", "_result")
+
+    def __init__(self, service: "RecommendationService", user_id: int,
+                 k: int, filter_seen: bool):
+        self.user_id = user_id
+        self.k = k
+        self.filter_seen = filter_seen
+        self._service = service
+        self._result: Recommendation | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._result is not None
+
+    def result(self) -> Recommendation:
+        """The finished recommendation, flushing the queue if needed."""
+        if self._result is None:
+            self._service.flush()
+        assert self._result is not None, "flush did not resolve this request"
+        return self._result
+
+
+class RecommendationService:
+    """Serve ``recommend(user_ids, k)`` on top of a snapshot + index.
+
+    Parameters
+    ----------
+    snapshot:
+        Loaded :class:`~repro.serve.snapshot.EmbeddingSnapshot`.
+    index:
+        Pre-built :class:`~repro.serve.index.TopKIndex`; defaults to an
+        :class:`~repro.serve.index.ExactTopKIndex` over ``snapshot``.
+        Must wrap the same snapshot (checked by content version).
+    cache_size:
+        LRU capacity in finished per-user lists; 0 disables caching.
+    max_batch:
+        Upper bound on users per index sweep — both the micro-batch
+        flush threshold and the slice size of large ``recommend`` calls.
+    """
+
+    def __init__(self, snapshot: EmbeddingSnapshot, *,
+                 index: TopKIndex | None = None, cache_size: int = 4096,
+                 max_batch: int = 256):
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if index is not None and index.snapshot.version != snapshot.version:
+            raise ValueError(
+                f"index wraps snapshot {index.snapshot.version!r} but the "
+                f"service was given {snapshot.version!r}")
+        self.snapshot = snapshot
+        self.index = index if index is not None else ExactTopKIndex(snapshot)
+        self.cache = LRUCache(cache_size)
+        self.max_batch = max_batch
+        self.stats = ServiceStats()
+        self._pending: list[PendingRequest] = []
+
+    # ------------------------------------------------------------------
+    # Batched path
+    # ------------------------------------------------------------------
+    def recommend(self, user_ids, k: int = 10,
+                  filter_seen: bool = True) -> list[Recommendation]:
+        """Top-``k`` recommendations for a batch of users.
+
+        Cache hits are answered without touching the index; the misses
+        are deduplicated and swept through the index in ``max_batch``
+        slices.  Results come back in input order (duplicate user ids
+        each get their own entry).
+        """
+        users = np.atleast_1d(np.asarray(user_ids, dtype=np.int64))
+        self.stats.requests += 1
+        self.stats.users_served += len(users)
+        results: dict[int, Recommendation] = {}
+        misses: list[int] = []
+        seen_users: set[int] = set()
+        for user in users.tolist():
+            if user in seen_users:
+                continue
+            seen_users.add(user)
+            cached = self.cache.get(self._key(user, k, filter_seen))
+            if cached is not None:
+                self.stats.cache_hits += 1
+                items, scores = cached
+                results[user] = Recommendation(
+                    user_id=user, items=items, scores=scores,
+                    snapshot_version=self.snapshot.version, from_cache=True)
+            else:
+                self.stats.cache_misses += 1
+                misses.append(user)
+        for lo in range(0, len(misses), self.max_batch):
+            batch = np.asarray(misses[lo:lo + self.max_batch], dtype=np.int64)
+            top = self.index.topk(batch, k=k, filter_seen=filter_seen)
+            self.stats.index_sweeps += 1
+            for row, user in enumerate(batch.tolist()):
+                items = top.items[row].copy()
+                scores = top.scores[row].copy()
+                # Frozen before caching: the same arrays back both the
+                # cache entry and the returned Recommendation, so a
+                # caller mutating a result must fail loudly instead of
+                # silently poisoning every future cache hit.
+                items.flags.writeable = False
+                scores.flags.writeable = False
+                self.cache.put(self._key(user, k, filter_seen),
+                               (items, scores))
+                results[user] = Recommendation(
+                    user_id=user, items=items, scores=scores,
+                    snapshot_version=self.snapshot.version)
+        return [results[user] for user in users.tolist()]
+
+    def recommend_one(self, user_id: int, k: int = 10,
+                      filter_seen: bool = True) -> Recommendation:
+        """Single-user convenience wrapper over :meth:`recommend`."""
+        return self.recommend([user_id], k=k, filter_seen=filter_seen)[0]
+
+    # ------------------------------------------------------------------
+    # Micro-batched path
+    # ------------------------------------------------------------------
+    def submit(self, user_id: int, k: int = 10,
+               filter_seen: bool = True) -> PendingRequest:
+        """Enqueue one lookup; executes when ``max_batch`` accumulate.
+
+        Returns a :class:`PendingRequest` whose ``result()`` forces a
+        flush if needed — so callers can fire off a burst of submits and
+        then read results, paying one index sweep instead of a sweep per
+        user.
+        """
+        request = PendingRequest(self, user_id, k, filter_seen)
+        self._pending.append(request)
+        if len(self._pending) >= self.max_batch:
+            self.flush()
+        return request
+
+    def flush(self) -> None:
+        """Execute every pending micro-batched request."""
+        pending, self._pending = self._pending, []
+        # Group by (k, filter_seen) so one flush still issues batched
+        # sweeps even when interleaved request shapes differ.
+        groups: dict[tuple[int, bool], list[PendingRequest]] = {}
+        for request in pending:
+            groups.setdefault((request.k, request.filter_seen),
+                              []).append(request)
+        for (k, filter_seen), members in groups.items():
+            answers = self.recommend([m.user_id for m in members], k=k,
+                                     filter_seen=filter_seen)
+            for member, answer in zip(members, answers):
+                member._result = answer
+
+    @property
+    def pending(self) -> int:
+        """Number of queued micro-batched requests."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    def _key(self, user: int, k: int, filter_seen: bool) -> tuple:
+        return (self.snapshot.version, self.index.kind, user, k, filter_seen)
+
+    def __repr__(self) -> str:
+        return (f"RecommendationService(index={self.index.kind!r}, "
+                f"snapshot={self.snapshot.version!r}, "
+                f"cache={len(self.cache)}/{self.cache.capacity}, "
+                f"hit_rate={self.stats.hit_rate:.2%})")

@@ -1,0 +1,285 @@
+"""Frozen embedding snapshots: the training → serving hand-off format.
+
+A *snapshot* is a directory holding everything the online stack needs to
+answer "what do we recommend to user ``u``?" without ever touching the
+training graph again:
+
+* ``user_embeddings.npy`` / ``item_embeddings.npy`` — the backbone's
+  **final** embedding tables with graph propagation already applied
+  (``model.propagate()`` in eval mode), stored as plain ``.npy`` so they
+  can be memory-mapped read-only by any number of serving processes;
+* ``seen_indptr.npy`` / ``seen_items.npy`` — the training interactions
+  in CSR layout, consumed by :func:`repro.eval.masking.mask_seen_items`
+  to filter already-seen items at request time;
+* ``manifest.json`` — a versioned :class:`SnapshotManifest` recording
+  the model, sizes, scoring function and a content hash, so a service
+  can detect stale caches and refuse mismatched artifacts.
+
+Because propagation is baked in at export time, serving cost is one
+dense gather + matmul per request batch regardless of backbone depth —
+a LightGCN-3 snapshot serves exactly as fast as an MF snapshot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+from repro.eval.masking import seen_items_csr
+from repro.models.base import Recommender
+
+__all__ = ["SNAPSHOT_SCHEMA", "SnapshotManifest", "EmbeddingSnapshot",
+           "export_snapshot", "load_snapshot"]
+
+#: Bump when the on-disk layout changes incompatibly.
+SNAPSHOT_SCHEMA = "bsl-serve-snapshot/v1"
+
+_FILES = {
+    "users": "user_embeddings.npy",
+    "items": "item_embeddings.npy",
+    "seen_indptr": "seen_indptr.npy",
+    "seen_items": "seen_items.npy",
+}
+_MANIFEST = "manifest.json"
+
+
+@dataclasses.dataclass(frozen=True)
+class SnapshotManifest:
+    """Identity card of one exported snapshot.
+
+    ``version`` is a content hash over the embedding tables, the seen-set
+    arrays and the identifying fields, so two snapshots with the same
+    version are byte-identical for serving purposes — result caches key
+    on it (see :class:`repro.serve.service.RecommendationService`).
+    """
+
+    schema: str
+    version: str
+    model: str
+    model_class: str
+    dim: int
+    num_users: int
+    num_items: int
+    dataset: str
+    scoring: str
+    created_unix: float
+    extra: dict = dataclasses.field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Serialize to the ``manifest.json`` on-disk representation."""
+        return json.dumps(dataclasses.asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SnapshotManifest":
+        """Parse ``manifest.json`` text, rejecting unknown fields."""
+        payload = json.loads(text)
+        unknown = set(payload) - {f.name for f in dataclasses.fields(cls)}
+        if unknown:
+            raise ValueError(f"manifest has unknown fields {sorted(unknown)}; "
+                             f"written by a newer schema?")
+        return cls(**payload)
+
+
+def _content_version(users: np.ndarray, items: np.ndarray,
+                     seen_indptr: np.ndarray, seen_items: np.ndarray,
+                     identity: tuple) -> str:
+    """Short content hash of everything that affects serving results."""
+    digest = hashlib.sha256()
+    digest.update(repr(identity).encode())
+    for arr in (users, items, seen_indptr, seen_items):
+        digest.update(str(arr.dtype).encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(np.ascontiguousarray(arr).tobytes())
+    return digest.hexdigest()[:16]
+
+
+class EmbeddingSnapshot:
+    """A loaded snapshot: manifest + (optionally memory-mapped) arrays.
+
+    Parameters
+    ----------
+    manifest:
+        Parsed :class:`SnapshotManifest`.
+    users, items:
+        ``(num_users, dim)`` / ``(num_items, dim)`` float64 tables with
+        propagation already applied.
+    seen_indptr, seen_items:
+        CSR layout of each user's training interactions
+        (``seen_items[seen_indptr[u]:seen_indptr[u + 1]]``).
+    path:
+        Directory the snapshot was loaded from, if any.
+    """
+
+    def __init__(self, manifest: SnapshotManifest, users: np.ndarray,
+                 items: np.ndarray, seen_indptr: np.ndarray,
+                 seen_items: np.ndarray, path: pathlib.Path | None = None):
+        if users.shape != (manifest.num_users, manifest.dim):
+            raise ValueError(f"user table shape {users.shape} does not match "
+                             f"manifest ({manifest.num_users}, {manifest.dim})")
+        if items.shape != (manifest.num_items, manifest.dim):
+            raise ValueError(f"item table shape {items.shape} does not match "
+                             f"manifest ({manifest.num_items}, {manifest.dim})")
+        if len(seen_indptr) != manifest.num_users + 1:
+            raise ValueError("seen_indptr length does not match num_users")
+        # CSR consistency now, not an opaque IndexError at request time
+        # (or a silent wrong-row mask for negative ids).
+        if seen_indptr[0] != 0 or seen_indptr[-1] != len(seen_items):
+            raise ValueError("seen_indptr does not span seen_items "
+                             "(truncated snapshot?)")
+        if not np.all(np.diff(seen_indptr) >= 0):
+            raise ValueError("seen_indptr is not monotone (corrupted "
+                             "snapshot?)")
+        if len(seen_items) and (seen_items.min() < 0
+                                or seen_items.max() >= manifest.num_items):
+            raise ValueError("seen_items contains out-of-range item ids")
+        self.manifest = manifest
+        self.users = users
+        self.items = items
+        self.seen_indptr = seen_indptr
+        self.seen_items = seen_items
+        self.path = path
+
+    @property
+    def version(self) -> str:
+        """Content-hash identity (cache key for downstream services)."""
+        return self.manifest.version
+
+    @property
+    def scoring(self) -> str:
+        """Test-time scoring function: ``inner``/``cosine``/``euclidean``."""
+        return self.manifest.scoring
+
+    def seen(self, user_id: int) -> np.ndarray:
+        """Training items of one user (the filter-seen candidate mask)."""
+        return np.asarray(
+            self.seen_items[self.seen_indptr[user_id]:
+                            self.seen_indptr[user_id + 1]])
+
+    def recompute_version(self) -> str:
+        """Re-hash the loaded arrays (integrity check against the manifest)."""
+        m = self.manifest
+        return _content_version(
+            np.asarray(self.users), np.asarray(self.items),
+            np.asarray(self.seen_indptr), np.asarray(self.seen_items),
+            (m.schema, m.model_class, m.dim, m.num_users, m.num_items,
+             m.scoring))
+
+    def __repr__(self) -> str:
+        m = self.manifest
+        return (f"EmbeddingSnapshot(model={m.model!r}, version={m.version!r}, "
+                f"users={m.num_users}, items={m.num_items}, dim={m.dim}, "
+                f"scoring={m.scoring!r})")
+
+
+def export_snapshot(model: Recommender, dataset: InteractionDataset,
+                    out_dir, *, model_name: str | None = None,
+                    extra: dict | None = None) -> EmbeddingSnapshot:
+    """Freeze a trained model into a serving snapshot directory.
+
+    Runs ``model.propagate()`` once in eval mode (so dropout and
+    SSL perturbations are off, exactly like
+    :meth:`~repro.models.base.Recommender.predict_scores`), persists the
+    final tables plus the dataset's train-interaction CSR, and writes a
+    versioned manifest.  Returns the loaded in-memory snapshot.
+
+    Parameters
+    ----------
+    model:
+        Any trained registry backbone.
+    dataset:
+        The training dataset — provides the seen-item sets used for
+        ``filter_seen`` at request time.
+    out_dir:
+        Target directory (created if missing; files are overwritten).
+    model_name:
+        Registry name to record (defaults to the class name lowercased).
+    extra:
+        Free-form JSON-serializable metadata merged into the manifest.
+    """
+    if (model.num_users, model.num_items) != (dataset.num_users,
+                                              dataset.num_items):
+        raise ValueError(
+            f"model is sized ({model.num_users}, {model.num_items}) but "
+            f"dataset is ({dataset.num_users}, {dataset.num_items})")
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    was_training = model.training
+    model.eval()
+    try:
+        users, items = model.embeddings()
+    finally:
+        if was_training:
+            model.train()
+    users = np.ascontiguousarray(users, dtype=np.float64)
+    items = np.ascontiguousarray(items, dtype=np.float64)
+    seen_indptr, seen_items = seen_items_csr(dataset.train_items_by_user)
+
+    name = model_name or type(model).__name__.lower()
+    identity = (SNAPSHOT_SCHEMA, type(model).__name__, model.dim,
+                model.num_users, model.num_items, model.test_scoring)
+    manifest = SnapshotManifest(
+        schema=SNAPSHOT_SCHEMA,
+        version=_content_version(users, items, seen_indptr, seen_items,
+                                 identity),
+        model=name,
+        model_class=type(model).__name__,
+        dim=model.dim,
+        num_users=model.num_users,
+        num_items=model.num_items,
+        dataset=dataset.name,
+        scoring=model.test_scoring,
+        created_unix=time.time(),
+        extra=dict(extra or {}))
+
+    np.save(out_dir / _FILES["users"], users)
+    np.save(out_dir / _FILES["items"], items)
+    np.save(out_dir / _FILES["seen_indptr"], seen_indptr)
+    np.save(out_dir / _FILES["seen_items"], seen_items)
+    (out_dir / _MANIFEST).write_text(manifest.to_json() + "\n")
+    return EmbeddingSnapshot(manifest, users, items, seen_indptr, seen_items,
+                             path=out_dir)
+
+
+def load_snapshot(path, *, mmap: bool = True,
+                  verify: bool = False) -> EmbeddingSnapshot:
+    """Open a snapshot directory written by :func:`export_snapshot`.
+
+    Parameters
+    ----------
+    path:
+        Snapshot directory.
+    mmap:
+        Memory-map the embedding tables read-only (the default) so many
+        serving processes share one page cache; pass ``False`` to load
+        plain in-memory copies.
+    verify:
+        Re-hash the arrays and fail loudly if the content does not match
+        the manifest's ``version`` (detects truncated or edited files).
+    """
+    path = pathlib.Path(path)
+    manifest_path = path / _MANIFEST
+    if not manifest_path.is_file():
+        raise FileNotFoundError(f"no snapshot manifest at {manifest_path}")
+    manifest = SnapshotManifest.from_json(manifest_path.read_text())
+    if manifest.schema != SNAPSHOT_SCHEMA:
+        raise ValueError(f"snapshot schema {manifest.schema!r} is not "
+                         f"{SNAPSHOT_SCHEMA!r}")
+    mmap_mode = "r" if mmap else None
+    arrays = {key: np.load(path / fname, mmap_mode=mmap_mode,
+                           allow_pickle=False)
+              for key, fname in _FILES.items()}
+    snapshot = EmbeddingSnapshot(manifest, arrays["users"], arrays["items"],
+                                 arrays["seen_indptr"], arrays["seen_items"],
+                                 path=path)
+    if verify and snapshot.recompute_version() != manifest.version:
+        raise ValueError(
+            f"snapshot content hash does not match manifest version "
+            f"{manifest.version!r}; files were modified after export")
+    return snapshot

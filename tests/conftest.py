@@ -17,3 +17,24 @@ def tiny_dataset():
 @pytest.fixture()
 def rng():
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_mf_snapshot(tmp_path_factory, tiny_dataset):
+    """(model, snapshot) for a briefly-trained MF exported on 'tiny'.
+
+    Session-scoped: the serve tests all compare against the same trained
+    model and on-disk snapshot directory.
+    """
+    from repro.losses import get_loss
+    from repro.models import MF
+    from repro.serve import export_snapshot
+    from repro.train import TrainConfig, train_model
+
+    model = MF(tiny_dataset.num_users, tiny_dataset.num_items, dim=8, rng=0)
+    config = TrainConfig(epochs=2, batch_size=64, n_negatives=8,
+                         eval_every=0, patience=0, seed=0)
+    train_model(model, get_loss("bsl"), tiny_dataset, config)
+    out_dir = tmp_path_factory.mktemp("snapshot")
+    snapshot = export_snapshot(model, tiny_dataset, out_dir, model_name="mf")
+    return model, snapshot

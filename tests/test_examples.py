@@ -1,0 +1,49 @@
+"""The example scripts run end-to-end under the tier-1 umbrella.
+
+``examples/quickstart.py`` is the README's canonical walk-through
+(train → evaluate → export → recommend), so it must keep working; it is
+exercised here on the tiny preset with a tiny budget.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+_EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _load_example(name: str):
+    """Import an example script by file path (examples/ is not a package)."""
+    spec = importlib.util.spec_from_file_location(name, _EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestQuickstart:
+    @pytest.fixture(scope="class")
+    def outputs(self, tmp_path_factory, capfd_class=None):
+        quickstart = _load_example("quickstart")
+        snapshot_dir = tmp_path_factory.mktemp("quickstart_snapshot")
+        results = quickstart.main(dataset_name="tiny", epochs=2, dim=8,
+                                  snapshot_dir=str(snapshot_dir))
+        return results, snapshot_dir
+
+    def test_reports_all_losses(self, outputs):
+        results, _ = outputs
+        assert set(results) == {"BPR", "SL", "BSL"}
+        for metrics in results.values():
+            assert set(metrics) >= {"recall@20", "ndcg@20"}
+            assert all(0.0 <= v <= 1.0 for v in metrics.values())
+
+    def test_exports_servable_snapshot(self, outputs):
+        from repro.serve import RecommendationService, load_snapshot
+
+        _, snapshot_dir = outputs
+        snapshot = load_snapshot(snapshot_dir, verify=True)
+        assert snapshot.manifest.dataset == "tiny"
+        rec = RecommendationService(snapshot).recommend_one(0, k=5)
+        assert len(rec.items) == 5

@@ -1,0 +1,90 @@
+"""The ``repro export`` / ``repro recommend`` CLI round-trip."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.serve import load_snapshot
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    """Snapshot directory produced by the real `repro export` verb."""
+    out = tmp_path_factory.mktemp("cli_snapshot") / "snap"
+    rc = cli.main(["export", "--dataset", "tiny", "--model", "mf",
+                   "--loss", "sl", "--epochs", "2", "--dim", "8",
+                   "--negatives", "8", "--out", str(out)])
+    assert rc == 0
+    return out
+
+
+class TestExport:
+    def test_writes_manifest_and_arrays(self, exported):
+        manifest = json.loads((exported / "manifest.json").read_text())
+        assert manifest["schema"] == "bsl-serve-snapshot/v1"
+        assert manifest["model"] == "mf"
+        assert manifest["extra"]["loss"] == "sl"
+        for fname in ("user_embeddings.npy", "item_embeddings.npy",
+                      "seen_indptr.npy", "seen_items.npy"):
+            assert (exported / fname).is_file()
+
+    def test_prints_version(self, exported, capsys):
+        cli.main(["recommend", "--snapshot", str(exported), "--users", "0"])
+        out = capsys.readouterr().out
+        manifest = json.loads((exported / "manifest.json").read_text())
+        assert manifest["version"] in out
+
+    def test_export_from_checkpoint(self, tiny_dataset, tmp_path):
+        from repro.models import MF
+        from repro.train.checkpoint import save_checkpoint
+
+        model = MF(tiny_dataset.num_users, tiny_dataset.num_items, dim=8,
+                   rng=0)
+        ckpt = tmp_path / "model.npz"
+        save_checkpoint(model, ckpt)
+        out = tmp_path / "snap"
+        rc = cli.main(["export", "--dataset", "tiny", "--model", "mf",
+                       "--dim", "8", "--checkpoint", str(ckpt),
+                       "--out", str(out)])
+        assert rc == 0
+        snapshot = load_snapshot(out, verify=True)
+        users, items = model.embeddings()
+        np.testing.assert_array_equal(np.asarray(snapshot.users), users)
+        np.testing.assert_array_equal(np.asarray(snapshot.items), items)
+
+
+class TestRecommend:
+    def test_round_trip(self, exported, capsys):
+        rc = cli.main(["recommend", "--snapshot", str(exported),
+                       "--users", "0,1,2", "--k", "5", "--verify"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "top-5" in out
+        # three user rows with five items each
+        data_lines = [l for l in out.splitlines()
+                      if l and l.split()[0] in {"0", "1", "2"}]
+        assert len(data_lines) == 3
+
+    def test_quantized_index_flag(self, exported, capsys):
+        rc = cli.main(["recommend", "--snapshot", str(exported),
+                       "--users", "0", "--index", "quantized"])
+        assert rc == 0
+        assert "quantized" in capsys.readouterr().out
+
+    def test_matches_service_results(self, exported, capsys):
+        from repro.serve import RecommendationService
+
+        cli.main(["recommend", "--snapshot", str(exported), "--users", "7",
+                  "--k", "4"])
+        out = capsys.readouterr().out
+        service = RecommendationService(load_snapshot(exported))
+        expected = service.recommend_one(7, k=4).items.tolist()
+        row = next(l for l in out.splitlines() if l.startswith("7"))
+        shown = [int(t) for t in row.split("|")[1].split()]
+        assert shown == expected
+
+    def test_missing_snapshot_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            cli.main(["recommend", "--snapshot", str(tmp_path / "nope")])

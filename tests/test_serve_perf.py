@@ -1,0 +1,122 @@
+"""The serve perf harness runs, reports sane numbers, keeps its schema."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.perf import (SERVE_SCHEMA, ServePerfConfig,
+                                    run_serve_suite, summarize_serve,
+                                    time_recommend, topk_overlap,
+                                    write_report)
+from repro.serve import (ExactTopKIndex, QuantizedTopKIndex,
+                         RecommendationService)
+
+pytestmark = pytest.mark.filterwarnings("ignore")
+
+
+class TestTimers:
+    def test_serve_row_fields(self, tiny_mf_snapshot):
+        _, snapshot = tiny_mf_snapshot
+        service = RecommendationService(snapshot, cache_size=0)
+        users = np.arange(32, dtype=np.int64)
+        row = time_recommend(service, users, batch_size=8, k=5, repeats=2)
+        assert row["kind"] == "serve"
+        assert row["index"] == "exact" and row["cache"] == "cold"
+        assert row["batch_size"] == 8 and row["k"] == 5
+        assert row["users"] == 32 and row["repeats"] == 2
+        assert row["total_s"] > 0 and row["users_per_s"] > 0
+        assert row["ms_per_batch"] == pytest.approx(
+            1e3 * row["total_s"] / (2 * 4))
+        assert row["cache_hit_rate"] == 0.0
+
+    def test_warm_cache_hits(self, tiny_mf_snapshot):
+        _, snapshot = tiny_mf_snapshot
+        service = RecommendationService(snapshot, cache_size=1024)
+        users = np.arange(16, dtype=np.int64)
+        row = time_recommend(service, users, batch_size=16, k=5, repeats=2,
+                             label="warm")
+        assert row["cache"] == "warm"
+        assert row["cache_hit_rate"] > 0.5  # warmup pass filled the cache
+
+    def test_invalid_args_rejected(self, tiny_mf_snapshot):
+        _, snapshot = tiny_mf_snapshot
+        service = RecommendationService(snapshot)
+        users = np.arange(4)
+        with pytest.raises(ValueError):
+            time_recommend(service, users, batch_size=0)
+        with pytest.raises(ValueError):
+            time_recommend(service, users, batch_size=2, repeats=0)
+
+    def test_overlap_bounds(self, tiny_mf_snapshot):
+        _, snapshot = tiny_mf_snapshot
+        exact = ExactTopKIndex(snapshot)
+        users = np.arange(snapshot.manifest.num_users, dtype=np.int64)
+        assert topk_overlap(exact, exact, users, k=10) == 1.0
+        quant = topk_overlap(exact, QuantizedTopKIndex(snapshot), users, k=10)
+        assert 0.0 <= quant <= 1.0
+
+
+class TestSuitePayload:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        config = ServePerfConfig(dataset="tiny", model="mf", loss="sl",
+                                 epochs=1, dim=8, k=5, batch_sizes=(1, 8),
+                                 repeats=1, request_users=64)
+        return run_serve_suite(config)
+
+    def test_schema_header(self, payload):
+        assert payload["schema"] == SERVE_SCHEMA == "bsl-serve-bench/v1"
+        assert payload["dataset"] == "tiny"
+        assert payload["created_unix"] > 0
+        assert len(payload["snapshot_version"]) == 16
+        assert payload["config"]["batch_sizes"] == [1, 8]
+
+    def test_covers_required_grid(self, payload):
+        """Cold rows for every (index, batch size) plus one warm row each."""
+        cold = {(r["index"], r["batch_size"]) for r in payload["results"]
+                if r["kind"] == "serve" and r["cache"] == "cold"}
+        assert cold == {(i, b) for i in ("exact", "quantized")
+                        for b in (1, 8)}
+        warm = {r["index"] for r in payload["results"]
+                if r["kind"] == "serve" and r["cache"] == "warm"}
+        assert warm == {"exact", "quantized"}
+
+    def test_overlap_row(self, payload):
+        rows = [r for r in payload["results"] if r["kind"] == "overlap"]
+        assert len(rows) == 1
+        assert 0.0 <= rows[0]["overlap_at_k"] <= 1.0
+        assert rows[0]["table_bytes"] < rows[0]["exact_table_bytes"]
+
+    def test_no_quantized_flag(self):
+        config = ServePerfConfig(dataset="tiny", model="mf", loss="sl",
+                                 epochs=1, dim=8, k=5, batch_sizes=(4,),
+                                 repeats=1, request_users=16,
+                                 include_quantized=False)
+        payload = run_serve_suite(config)
+        assert all(r["index"] == "exact" for r in payload["results"])
+
+    def test_json_roundtrip(self, payload, tmp_path):
+        out = tmp_path / "BENCH_serve.json"
+        write_report(payload, out)
+        assert json.loads(out.read_text()) == json.loads(json.dumps(payload))
+
+    def test_summarize_mentions_rows(self, payload):
+        text = summarize_serve(payload)
+        assert "overlap@5" in text
+        assert "exact" in text and "quantized" in text
+        assert "users/s" in text
+
+
+class TestCLI:
+    def test_perf_serve_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+        out = tmp_path / "bench.json"
+        rc = main(["perf-serve", "--dataset", "tiny", "--model", "mf",
+                   "--loss", "sl", "--epochs", "1", "--dim", "8",
+                   "--batch-sizes", "4", "--repeats", "1",
+                   "--request-users", "16", "--out", str(out)])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == SERVE_SCHEMA
+        assert "wrote" in capsys.readouterr().out

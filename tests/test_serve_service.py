@@ -1,0 +1,193 @@
+"""RecommendationService: caching, micro-batching, version keying."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (ExactTopKIndex, LRUCache, QuantizedTopKIndex,
+                         RecommendationService, load_snapshot)
+
+
+@pytest.fixture()
+def service(tiny_mf_snapshot):
+    _, snapshot = tiny_mf_snapshot
+    return RecommendationService(snapshot, max_batch=16)
+
+
+class TestRecommend:
+    def test_matches_index_topk(self, tiny_mf_snapshot, service):
+        _, snapshot = tiny_mf_snapshot
+        users = np.array([3, 1, 4, 1, 5])
+        expected = ExactTopKIndex(snapshot).topk(users, k=7)
+        results = service.recommend(users, k=7)
+        assert [r.user_id for r in results] == users.tolist()
+        for row, rec in enumerate(results):
+            np.testing.assert_array_equal(rec.items, expected.items[row])
+            np.testing.assert_array_equal(rec.scores, expected.scores[row])
+            assert rec.snapshot_version == snapshot.version
+
+    def test_duplicate_users_answered_once(self, service):
+        results = service.recommend([2, 2, 2], k=5)
+        assert service.stats.cache_misses == 1
+        np.testing.assert_array_equal(results[0].items, results[1].items)
+
+    def test_second_call_hits_cache(self, service):
+        first = service.recommend([0, 1, 2], k=5)
+        assert all(not r.from_cache for r in first)
+        second = service.recommend([0, 1, 2], k=5)
+        assert all(r.from_cache for r in second)
+        assert service.stats.cache_hits == 3
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.items, b.items)
+
+    def test_cache_key_includes_k_and_filtering(self, service):
+        service.recommend([0], k=5)
+        service.recommend([0], k=6)
+        service.recommend([0], k=5, filter_seen=False)
+        assert service.stats.cache_misses == 3
+
+    def test_large_batches_swept_in_max_batch_slices(self, tiny_mf_snapshot):
+        _, snapshot = tiny_mf_snapshot
+        service = RecommendationService(snapshot, max_batch=10, cache_size=0)
+        service.recommend(np.arange(35), k=5)
+        assert service.stats.index_sweeps == 4  # ceil(35 / 10)
+
+    def test_cache_disabled(self, tiny_mf_snapshot):
+        _, snapshot = tiny_mf_snapshot
+        service = RecommendationService(snapshot, cache_size=0)
+        service.recommend([0], k=5)
+        service.recommend([0], k=5)
+        assert service.stats.cache_hits == 0
+        assert service.stats.index_sweeps == 2
+
+    def test_recommend_one(self, service):
+        rec = service.recommend_one(11, k=3)
+        assert rec.user_id == 11 and len(rec.items) == 3
+
+    def test_filter_seen_respected(self, tiny_dataset, service):
+        rec = service.recommend_one(5, k=10)
+        seen = set(tiny_dataset.train_items_by_user[5].tolist())
+        assert not seen & set(rec.items.tolist())
+
+    def test_results_cannot_poison_cache(self, service):
+        """Mutating a returned result must fail, not corrupt the cache."""
+        rec = service.recommend_one(0, k=5)
+        with pytest.raises(ValueError):
+            rec.items[0] = -1
+        with pytest.raises(ValueError):
+            rec.scores[:] = 0.0
+        again = service.recommend_one(0, k=5)
+        assert again.from_cache and again.items[0] != -1
+
+
+class TestMicroBatching:
+    def test_submit_defers_until_flush(self, service):
+        handles = [service.submit(u, k=5) for u in range(5)]
+        assert service.pending == 5
+        assert not any(h.done for h in handles)
+        service.flush()
+        assert service.pending == 0
+        assert all(h.done for h in handles)
+
+    def test_result_forces_flush(self, service):
+        handle = service.submit(3, k=5)
+        rec = handle.result()
+        assert rec.user_id == 3 and service.pending == 0
+
+    def test_auto_flush_at_max_batch(self, tiny_mf_snapshot):
+        _, snapshot = tiny_mf_snapshot
+        service = RecommendationService(snapshot, max_batch=4, cache_size=0)
+        handles = [service.submit(u, k=5) for u in range(4)]
+        assert all(h.done for h in handles)  # hit the threshold
+        assert service.stats.index_sweeps == 1  # one sweep for all four
+
+    def test_burst_is_batched_not_per_user(self, tiny_mf_snapshot):
+        _, snapshot = tiny_mf_snapshot
+        service = RecommendationService(snapshot, max_batch=64, cache_size=0)
+        handles = [service.submit(u, k=5) for u in range(10)]
+        results = [h.result() for h in handles]
+        assert service.stats.index_sweeps == 1
+        assert [r.user_id for r in results] == list(range(10))
+
+    def test_mixed_shapes_grouped(self, service):
+        a = service.submit(0, k=3)
+        b = service.submit(1, k=8)
+        service.flush()
+        assert len(a.result().items) == 3 and len(b.result().items) == 8
+
+    def test_micro_batch_matches_direct(self, tiny_mf_snapshot, service):
+        _, snapshot = tiny_mf_snapshot
+        direct = ExactTopKIndex(snapshot).topk([6], k=5)
+        via_queue = service.submit(6, k=5).result()
+        np.testing.assert_array_equal(via_queue.items, direct.items[0])
+
+
+class TestVersionKeying:
+    def test_new_snapshot_version_never_reuses_cache(self, tiny_dataset,
+                                                     tmp_path):
+        from repro.models import MF
+        from repro.serve import export_snapshot
+
+        model = MF(tiny_dataset.num_users, tiny_dataset.num_items, dim=8,
+                   rng=0)
+        snap_a = export_snapshot(model, tiny_dataset, tmp_path / "a")
+        model.user_embedding.weight.data[...] += 0.5
+        snap_b = export_snapshot(model, tiny_dataset, tmp_path / "b")
+        assert snap_a.version != snap_b.version
+        shared = LRUCache(64)
+        svc_a = RecommendationService(snap_a)
+        svc_b = RecommendationService(snap_b)
+        svc_a.cache = svc_b.cache = shared  # worst case: shared store
+        svc_a.recommend([0], k=5)
+        svc_b.recommend([0], k=5)
+        assert svc_b.stats.cache_hits == 0 and svc_b.stats.cache_misses == 1
+
+    def test_mismatched_index_rejected(self, tiny_dataset, tiny_mf_snapshot,
+                                       tmp_path):
+        from repro.models import MF
+        from repro.serve import export_snapshot
+
+        _, snapshot = tiny_mf_snapshot
+        other_model = MF(tiny_dataset.num_users, tiny_dataset.num_items,
+                         dim=8, rng=42)
+        other = export_snapshot(other_model, tiny_dataset, tmp_path)
+        with pytest.raises(ValueError, match="wraps snapshot"):
+            RecommendationService(snapshot, index=ExactTopKIndex(other))
+
+    def test_quantized_index_cached_separately(self, tiny_mf_snapshot):
+        _, snapshot = tiny_mf_snapshot
+        cache = LRUCache(64)
+        exact = RecommendationService(snapshot)
+        quant = RecommendationService(snapshot,
+                                      index=QuantizedTopKIndex(snapshot))
+        exact.cache = quant.cache = cache
+        exact.recommend([0], k=5)
+        quant.recommend([0], k=5)
+        assert quant.stats.cache_hits == 0  # kind is part of the key
+
+    def test_serving_from_disk_snapshot(self, tiny_mf_snapshot):
+        """End-to-end: mmap-load the exported directory and serve."""
+        _, snapshot = tiny_mf_snapshot
+        service = RecommendationService(load_snapshot(snapshot.path))
+        rec = service.recommend_one(0, k=5)
+        direct = ExactTopKIndex(snapshot).topk([0], k=5)
+        np.testing.assert_array_equal(rec.items, direct.items[0])
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh 'a'
+        cache.put("c", 3)  # evicts 'b'
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_zero_capacity_never_stores(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None and len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)

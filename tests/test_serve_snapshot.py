@@ -1,0 +1,148 @@
+"""Snapshot export/load round-trips, manifest versioning, integrity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.models import MF, LightGCN
+from repro.serve import (SNAPSHOT_SCHEMA, SnapshotManifest, export_snapshot,
+                         load_snapshot)
+
+
+class TestExport:
+    def test_roundtrip_preserves_tables(self, tiny_dataset, tiny_mf_snapshot):
+        model, snapshot = tiny_mf_snapshot
+        loaded = load_snapshot(snapshot.path)
+        users, items = model.embeddings()
+        np.testing.assert_array_equal(np.asarray(loaded.users), users)
+        np.testing.assert_array_equal(np.asarray(loaded.items), items)
+        assert loaded.version == snapshot.version
+
+    def test_manifest_fields(self, tiny_dataset, tiny_mf_snapshot):
+        _, snapshot = tiny_mf_snapshot
+        m = snapshot.manifest
+        assert m.schema == SNAPSHOT_SCHEMA
+        assert m.model == "mf" and m.model_class == "MF"
+        assert (m.num_users, m.num_items) == (tiny_dataset.num_users,
+                                              tiny_dataset.num_items)
+        assert m.dim == 8
+        assert m.dataset == "tiny"
+        assert m.scoring == "cosine"  # MF tests with cosine (Table V)
+        assert m.created_unix > 0
+
+    def test_seen_sets_match_train_split(self, tiny_dataset,
+                                         tiny_mf_snapshot):
+        _, snapshot = tiny_mf_snapshot
+        loaded = load_snapshot(snapshot.path)
+        for u in (0, 7, tiny_dataset.num_users - 1):
+            np.testing.assert_array_equal(
+                loaded.seen(u), tiny_dataset.train_items_by_user[u])
+
+    def test_propagation_baked_in(self, tiny_dataset, tmp_path):
+        """GCN snapshots store post-propagation tables, not raw weights."""
+        model = LightGCN(tiny_dataset, dim=8, rng=0)
+        snapshot = export_snapshot(model, tiny_dataset, tmp_path)
+        users, _ = model.embeddings()
+        np.testing.assert_array_equal(np.asarray(snapshot.users), users)
+        assert not np.array_equal(np.asarray(snapshot.users),
+                                  model.user_embedding.weight.data)
+
+    def test_export_in_train_mode_uses_eval_forward(self, tiny_dataset,
+                                                    tmp_path):
+        """Export must not leak train-mode perturbations into the tables."""
+        model = LightGCN(tiny_dataset, dim=8, rng=0)
+        model.train()
+        snapshot = export_snapshot(model, tiny_dataset, tmp_path)
+        assert model.training  # mode restored
+        eval_scores = model.predict_scores(user_ids=np.arange(4))
+        users = np.asarray(snapshot.users)[:4]
+        items = np.asarray(snapshot.items)
+        np.testing.assert_array_equal(users @ items.T, eval_scores)
+
+    def test_size_mismatch_rejected(self, tiny_dataset, tmp_path):
+        model = MF(tiny_dataset.num_users - 1, tiny_dataset.num_items,
+                   dim=8, rng=0)
+        with pytest.raises(ValueError, match="sized"):
+            export_snapshot(model, tiny_dataset, tmp_path)
+
+
+class TestVersioning:
+    def test_version_tracks_content(self, tiny_dataset, tmp_path):
+        model = MF(tiny_dataset.num_users, tiny_dataset.num_items, dim=8,
+                   rng=0)
+        first = export_snapshot(model, tiny_dataset, tmp_path / "a")
+        again = export_snapshot(model, tiny_dataset, tmp_path / "b")
+        assert first.version == again.version  # deterministic content hash
+        model.user_embedding.weight.data[0, 0] += 1.0
+        changed = export_snapshot(model, tiny_dataset, tmp_path / "c")
+        assert changed.version != first.version
+
+    def test_verify_detects_tampering(self, tiny_dataset, tmp_path):
+        model = MF(tiny_dataset.num_users, tiny_dataset.num_items, dim=8,
+                   rng=0)
+        export_snapshot(model, tiny_dataset, tmp_path)
+        table = np.load(tmp_path / "item_embeddings.npy")
+        table[0, 0] += 1.0
+        np.save(tmp_path / "item_embeddings.npy", table)
+        load_snapshot(tmp_path)  # lazy load is fine
+        with pytest.raises(ValueError, match="content hash"):
+            load_snapshot(tmp_path, verify=True)
+
+
+class TestLoad:
+    def test_mmap_default_is_readonly(self, tiny_mf_snapshot):
+        _, snapshot = tiny_mf_snapshot
+        loaded = load_snapshot(snapshot.path)
+        assert isinstance(loaded.users, np.memmap)
+        with pytest.raises(ValueError):
+            loaded.users[0, 0] = 1.0
+
+    def test_in_memory_load(self, tiny_mf_snapshot):
+        _, snapshot = tiny_mf_snapshot
+        loaded = load_snapshot(snapshot.path, mmap=False)
+        assert not isinstance(loaded.users, np.memmap)
+        np.testing.assert_array_equal(loaded.users, snapshot.users)
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_snapshot(tmp_path)
+
+    def test_truncated_seen_items_rejected_at_load(self, tiny_dataset,
+                                                   tmp_path):
+        """CSR inconsistency fails at load time, not deep in masking."""
+        model = MF(tiny_dataset.num_users, tiny_dataset.num_items, dim=8,
+                   rng=0)
+        export_snapshot(model, tiny_dataset, tmp_path)
+        seen = np.load(tmp_path / "seen_items.npy")
+        np.save(tmp_path / "seen_items.npy", seen[:-5])
+        with pytest.raises(ValueError, match="truncated"):
+            load_snapshot(tmp_path)
+
+    def test_non_monotone_indptr_rejected(self, tiny_dataset, tmp_path):
+        model = MF(tiny_dataset.num_users, tiny_dataset.num_items, dim=8,
+                   rng=0)
+        export_snapshot(model, tiny_dataset, tmp_path)
+        indptr = np.load(tmp_path / "seen_indptr.npy")
+        indptr[1], indptr[2] = indptr[2], indptr[1]
+        np.save(tmp_path / "seen_indptr.npy", indptr)
+        with pytest.raises(ValueError, match="monotone"):
+            load_snapshot(tmp_path)
+
+    def test_out_of_range_seen_items_rejected(self, tiny_dataset, tmp_path):
+        model = MF(tiny_dataset.num_users, tiny_dataset.num_items, dim=8,
+                   rng=0)
+        export_snapshot(model, tiny_dataset, tmp_path)
+        seen = np.load(tmp_path / "seen_items.npy")
+        seen[0] = tiny_dataset.num_items
+        np.save(tmp_path / "seen_items.npy", seen)
+        with pytest.raises(ValueError, match="out-of-range"):
+            load_snapshot(tmp_path)
+
+    def test_unknown_manifest_fields_rejected(self, tiny_mf_snapshot,
+                                              tmp_path):
+        _, snapshot = tiny_mf_snapshot
+        payload = json.loads(snapshot.manifest.to_json())
+        payload["from_the_future"] = 1
+        with pytest.raises(ValueError, match="unknown fields"):
+            SnapshotManifest.from_json(json.dumps(payload))
