@@ -1,26 +1,34 @@
 # Developer entry points.  The test tiers mirror the root conftest.py:
 # tier-1 must stay fast; everything slow hides behind --runslow.
 #
-#   make verify        tier-1 tests + docs-link checker (CI gate)
+#   make verify        tier-1 tests + docs/bench checkers (what CI gates on)
 #   make verify-slow   everything, incl. paper-figure benches
+#   make ci            strict verify, exactly what .github/workflows/ci.yml runs
 #   make bench         regenerate BENCH_fastpath.json + BENCH_serve.json
 #   make docs-check    just the README/docs reference checker
+#   make bench-check   just the benchmark JSON schema validator
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify verify-slow test docs-check bench
+.PHONY: verify verify-slow test ci docs-check bench-check bench
 
-verify: docs-check
+verify: docs-check bench-check
 	$(PYTHON) -m pytest -x -q
 
-verify-slow: docs-check
+verify-slow: docs-check bench-check
 	$(PYTHON) -m pytest -x -q --runslow
 
 test: verify
 
+ci:
+	sh scripts/verify.sh --strict
+
 docs-check:
 	$(PYTHON) scripts/check_docs.py
+
+bench-check:
+	$(PYTHON) scripts/check_bench.py
 
 bench:
 	$(PYTHON) -m repro.cli perf --out BENCH_fastpath.json

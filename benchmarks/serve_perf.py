@@ -7,8 +7,9 @@ directory has a one-command entry point::
 
 Trains one (model, loss) cell, exports an embedding snapshot and times
 batched top-K recommendation throughput (exact vs int8-quantized index,
-cold vs warm cache), writing ``BENCH_serve.json`` (schema
-``bsl-serve-bench/v1``).  Equivalent to ``python -m repro.cli perf-serve``.
+cold vs warm cache, plus the sharded scatter-gather sweep), writing
+``BENCH_serve.json`` (schema ``bsl-serve-bench/v2``).  Equivalent to
+``python -m repro.cli perf-serve``.
 """
 
 from __future__ import annotations

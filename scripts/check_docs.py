@@ -18,6 +18,12 @@ references and fails if any is dangling:
 Run directly (``python scripts/check_docs.py``) or via
 ``scripts/verify.sh`` / ``make verify``; ``tests/test_docs.py`` runs the
 same checks under pytest so tier-1 catches rot too.
+
+Softer issues are reported as **warnings** — currently, pages under
+``docs/`` that no other checked document links to (orphans a reader
+cannot discover).  Warnings are informational by default; in CI the
+workflow runs ``--strict`` (via ``scripts/verify.sh --strict``), which
+turns them into failures.
 """
 
 from __future__ import annotations
@@ -91,8 +97,36 @@ def check_file(path: pathlib.Path, verbs: set[str]) -> list[str]:
     return problems
 
 
-def main() -> int:
-    """Check every doc file; print problems and return their count."""
+def find_warnings(files: list[pathlib.Path]) -> list[str]:
+    """Corpus-level soft issues: ``docs/`` pages nothing links to."""
+    warnings = []
+    linked: set[pathlib.Path] = set()
+    for path in files:
+        for match in _MD_LINK.finditer(path.read_text()):
+            target = match.group(1).strip().split("#")[0]
+            if target and not target.startswith(("http://", "https://",
+                                                 "mailto:")):
+                resolved = (path.parent / target)
+                if resolved.exists():
+                    linked.add(resolved.resolve())
+    for path in files:
+        if path.parent.name == "docs" and path.resolve() not in linked:
+            warnings.append(f"{path.relative_to(REPO_ROOT)}: orphan page — "
+                            f"no other checked document links to it")
+    return warnings
+
+
+def main(argv=None) -> int:
+    """Check every doc file; print problems and return their count.
+
+    With ``--strict`` (what CI runs), warnings count as failures too.
+    """
+    argv = sys.argv[1:] if argv is None else argv
+    strict = "--strict" in argv
+    unknown = [a for a in argv if a != "--strict"]
+    if unknown:
+        print(f"docs-check: unknown arguments {unknown}", file=sys.stderr)
+        return 2
     verbs = cli_verbs()
     problems = []
     files = doc_files()
@@ -100,12 +134,15 @@ def main() -> int:
         problems.append("no documentation files found (README.md missing?)")
     for path in files:
         problems.extend(check_file(path, verbs))
+    warnings = find_warnings(files)
     for problem in problems:
         print(f"docs-check: {problem}", file=sys.stderr)
-    if not problems:
+    for warning in warnings:
+        print(f"docs-check: warning: {warning}", file=sys.stderr)
+    if not problems and not warnings:
         print(f"docs-check: {len(files)} files OK "
               f"({', '.join(str(f.relative_to(REPO_ROOT)) for f in files)})")
-    return len(problems)
+    return len(problems) + (len(warnings) if strict else 0)
 
 
 if __name__ == "__main__":

@@ -1,13 +1,16 @@
 #!/usr/bin/env sh
-# Repo verification: tier-1 tests + docs checker, optionally the slow tier.
+# Repo verification: docs checker + bench-schema checker + tier-1 tests,
+# optionally the slow tier.
 #
 # Usage:
-#   scripts/verify.sh             # tier-1: fast tests + docs-link check
+#   scripts/verify.sh             # tier-1: fast tests + docs/bench checks
 #   scripts/verify.sh --runslow   # everything, incl. paper-figure benches
+#   scripts/verify.sh --strict    # CI mode: docs-checker warnings fail too
 #
-# Also available as `make verify` / `make verify-slow`.  The tier-1
-# command must stay fast (seconds, not minutes): slow tests are gated
-# behind --runslow by the root conftest.py.
+# Also available as `make verify` / `make verify-slow`; the CI workflow
+# runs `make ci` == `scripts/verify.sh --strict`.  The tier-1 command
+# must stay fast (seconds, not minutes): slow tests are gated behind
+# --runslow by the root conftest.py.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,15 +18,21 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 export PYTHONPATH
 
 RUNSLOW=""
+STRICT=""
 for arg in "$@"; do
     case "$arg" in
         --runslow) RUNSLOW="--runslow" ;;
+        --strict) STRICT="--strict" ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
 
-echo "== docs checker =="
-python scripts/check_docs.py
+echo "== docs checker ${STRICT:+(strict)}=="
+# shellcheck disable=SC2086
+python scripts/check_docs.py $STRICT
+
+echo "== bench-schema checker =="
+python scripts/check_bench.py
 
 echo "== pytest ${RUNSLOW:-(tier-1)} =="
 # shellcheck disable=SC2086

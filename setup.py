@@ -1,11 +1,51 @@
-"""Setup shim.
+"""Packaging for the BSL reproduction.
 
-The offline environment ships setuptools without the ``wheel`` package,
-so PEP 660 editable installs (``pip install -e .``) cannot build the
-editable wheel.  This shim lets ``python setup.py develop`` provide the
-equivalent editable install; configuration lives in ``pyproject.toml``.
+The version is sourced from ``repro.__version__`` (read textually so
+the package need not be importable at build time), the package tree
+lives under ``src/``, and a ``repro`` console entry point maps to
+:func:`repro.cli.main` — so after ``pip install -e .`` the CI matrix
+can run ``repro datasets`` etc. without any ``PYTHONPATH`` hacks.
+
+Note: fully-offline environments that ship setuptools without the
+``wheel`` package cannot build the PEP 660 editable wheel; there,
+``python setup.py develop`` provides the equivalent editable install.
 """
 
-from setuptools import setup
+import pathlib
+import re
 
-setup()
+from setuptools import find_packages, setup
+
+ROOT = pathlib.Path(__file__).resolve().parent
+
+
+def _version() -> str:
+    """Read ``__version__`` out of ``src/repro/__init__.py``."""
+    text = (ROOT / "src" / "repro" / "__init__.py").read_text()
+    match = re.search(r'^__version__ = "([^"]+)"', text, re.MULTILINE)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="repro-bsl",
+    version=_version(),
+    description=("Numpy-only reproduction of 'BSL: Understanding and "
+                 "Improving Softmax Loss for Recommendation' (ICDE 2024), "
+                 "grown into a train/evaluate/serve recommendation system"),
+    long_description=(ROOT / "README.md").read_text(),
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.22", "scipy>=1.8"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+    classifiers=[
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "License :: OSI Approved :: MIT License",
+        "Topic :: Scientific/Engineering :: Artificial Intelligence",
+    ],
+)

@@ -8,10 +8,14 @@ Subcommands:
 * ``perf`` — time train-step / eval throughput and write
   ``BENCH_fastpath.json`` (the fast-path perf trajectory).
 * ``export`` — train (or load a checkpoint) and freeze the model into a
-  serving snapshot directory (:mod:`repro.serve`).
-* ``recommend`` — answer top-K requests from an exported snapshot.
-* ``perf-serve`` — time snapshot serving throughput and write
-  ``BENCH_serve.json`` (the serving perf trajectory).
+  serving snapshot directory (:mod:`repro.serve`); ``--shards N``
+  writes a horizontally partitioned snapshot instead.
+* ``recommend`` — answer top-K requests from an exported snapshot
+  (sharded directories are detected and scatter-gather-routed
+  automatically).
+* ``perf-serve`` — time snapshot serving throughput, unsharded and
+  across shard counts, and write ``BENCH_serve.json`` (the serving
+  perf trajectory).
 """
 
 from __future__ import annotations
@@ -105,9 +109,11 @@ def _cmd_export(args) -> int:
 
     Either trains the requested cell from scratch (the default) or, with
     ``--checkpoint``, rebuilds the model and loads previously saved
-    parameters before exporting.
+    parameters before exporting.  With ``--shards N`` the snapshot is
+    written horizontally partitioned (``--partition-by`` picks the
+    sharded axes, ``--partition`` the placement scheme).
     """
-    from repro.serve import export_snapshot
+    from repro.serve import export_sharded_snapshot, export_snapshot
 
     if args.checkpoint:
         from repro.models import get_model
@@ -121,10 +127,26 @@ def _cmd_export(args) -> int:
         print_table(f"trained {args.model}+{args.loss} on {args.dataset}",
                     ["metric", "value"],
                     [[k, v] for k, v in sorted(result.metrics.items())])
-    snapshot = export_snapshot(
-        model, dataset, args.out, model_name=args.model,
-        extra={"loss": args.loss, "epochs": args.epochs,
-               "checkpoint": args.checkpoint or ""})
+    extra = {"loss": args.loss, "epochs": args.epochs,
+             "checkpoint": args.checkpoint or ""}
+    if args.shards:
+        snapshot = export_sharded_snapshot(
+            model, dataset, args.out, shards=args.shards,
+            partition_by=args.partition_by, strategy=args.partition,
+            model_name=args.model, extra=extra)
+        manifest = snapshot.manifest
+        print_table(
+            f"sharded snapshot {args.out}", ["field", "value"],
+            [["version", manifest.version], ["model", manifest.model],
+             ["user shards", manifest.num_user_shards],
+             ["item shards", manifest.num_item_shards],
+             ["partition", f"{manifest.strategy} by "
+                           f"{manifest.partition_by}"],
+             ["users", manifest.num_users], ["items", manifest.num_items],
+             ["scoring", manifest.scoring]], precision=0)
+        return 0
+    snapshot = export_snapshot(model, dataset, args.out,
+                               model_name=args.model, extra=extra)
     manifest = snapshot.manifest
     print_table(f"snapshot {args.out}", ["field", "value"],
                 [["version", manifest.version], ["model", manifest.model],
@@ -135,12 +157,25 @@ def _cmd_export(args) -> int:
 
 
 def _cmd_recommend(args) -> int:
-    """Serve top-K recommendations for a list of users from a snapshot."""
-    from repro.serve import RecommendationService, build_index, load_snapshot
+    """Serve top-K recommendations for a list of users from a snapshot.
 
-    snapshot = load_snapshot(args.snapshot, verify=args.verify)
-    index = build_index(snapshot, args.index)
-    service = RecommendationService(snapshot, index=index)
+    Sharded snapshot directories (written by ``repro export --shards``)
+    are detected automatically and served through the scatter-gather
+    :class:`~repro.serve.router.ShardedRecommendationService`.
+    """
+    from repro.serve import (RecommendationService,
+                             ShardedRecommendationService, build_index,
+                             is_sharded_snapshot, load_sharded_snapshot,
+                             load_snapshot)
+
+    if is_sharded_snapshot(args.snapshot):
+        snapshot = load_sharded_snapshot(args.snapshot, verify=args.verify)
+        service = ShardedRecommendationService(snapshot, kind=args.index)
+        index = service.index
+    else:
+        snapshot = load_snapshot(args.snapshot, verify=args.verify)
+        index = build_index(snapshot, args.index)
+        service = RecommendationService(snapshot, index=index)
     users = [int(u) for u in args.users.split(",")]
     rows = []
     for rec in service.recommend(users, k=args.k,
@@ -159,11 +194,14 @@ def _cmd_perf_serve(args) -> int:
     """Run the serving perf suite and write ``BENCH_serve.json``."""
     from repro.experiments.perf import (ServePerfConfig, run_serve_suite,
                                         summarize_serve, write_report)
+    shards = tuple(int(s) for s in args.shards.split(",")) if args.shards \
+        else ()
     config = ServePerfConfig(
         dataset=args.dataset, model=args.model, loss=args.loss,
         epochs=args.epochs, dim=args.dim, k=args.k,
         batch_sizes=tuple(int(b) for b in args.batch_sizes.split(",")),
         repeats=args.repeats, request_users=args.request_users,
+        shards=shards, partition_by=args.partition_by,
         include_quantized=not args.no_quantized, seed=args.seed)
     payload = run_serve_suite(config)
     write_report(payload, args.out)
@@ -240,6 +278,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "instead of training")
     export.add_argument("--out", default="snapshot",
                         help="snapshot output directory")
+    export.add_argument("--shards", type=int, default=0,
+                        help="write a sharded snapshot with this many "
+                             "partitions per sharded axis (0 = unsharded)")
+    export.add_argument("--partition-by", default="both",
+                        choices=("user", "item", "both"),
+                        help="which axes to shard (with --shards)")
+    export.add_argument("--partition", default="contiguous",
+                        choices=("contiguous", "hash"),
+                        help="id placement scheme (with --shards)")
 
     recommend = sub.add_parser(
         "recommend", help="top-K recommendations from an exported snapshot")
@@ -270,6 +317,12 @@ def build_parser() -> argparse.ArgumentParser:
     perf_serve.add_argument("--repeats", type=int, default=3)
     perf_serve.add_argument("--request-users", type=int, default=1024,
                             help="request stream length per timing pass")
+    perf_serve.add_argument("--shards", default="2,4",
+                            help="comma-separated shard counts for the "
+                                 "sharded sweep ('' to skip)")
+    perf_serve.add_argument("--partition-by", default="both",
+                            choices=("user", "item", "both"),
+                            help="sharded-sweep partition axes")
     perf_serve.add_argument("--no-quantized", action="store_true",
                             help="skip the int8 index rows")
     perf_serve.add_argument("--seed", type=int, default=0)

@@ -17,15 +17,43 @@ __all__ = ["recall_at_k", "ndcg_at_k", "precision_at_k", "hit_rate_at_k",
 def rank_items(scores: np.ndarray, k: int) -> np.ndarray:
     """Top-``k`` item indices per row, highest score first.
 
-    Uses argpartition + argsort for O(n + k log k) per row.
+    Uses argpartition + lexsort for O(n + k log k) per row.
+
+    The ranking is **canonical**: ties are broken by the smaller item
+    index, both inside the returned list and at the selection boundary
+    (when items outside the top ``k`` tie with the ``k``-th score, the
+    smallest indices among the tied items win).  This makes the result a
+    pure function of the ``(score, item id)`` pairs, independent of how
+    the score row was computed or partitioned — the contract the sharded
+    serving router's k-way merge relies on (see ``docs/sharding.md``).
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
-    k = min(k, scores.shape[-1])
+    n = scores.shape[-1]
+    k = min(k, n)
     part = np.argpartition(-scores, k - 1, axis=-1)[..., :k]
     row_scores = np.take_along_axis(scores, part, axis=-1)
-    order = np.argsort(-row_scores, axis=-1, kind="stable")
-    return np.take_along_axis(part, order, axis=-1)
+    # lexsort: primary key score descending, secondary key item id
+    # ascending — the canonical within-list order.
+    order = np.lexsort((part, -row_scores), axis=-1)
+    top = np.take_along_axis(part, order, axis=-1)
+    if k == n:
+        return top
+    # Boundary ties: argpartition picks an arbitrary subset of the items
+    # tied with the k-th score, so rows where ties straddle the boundary
+    # are patched to keep the smallest tied indices (rare in practice).
+    top_scores = np.take_along_axis(row_scores, order, axis=-1)
+    kth = top_scores[..., -1:]
+    flat_scores = scores.reshape(-1, n)
+    flat_top = top.reshape(-1, k)
+    flat_kth = kth.reshape(-1, 1)
+    tied_total = (flat_scores == flat_kth).sum(axis=-1)
+    tied_kept = (top_scores.reshape(-1, k) == flat_kth).sum(axis=-1)
+    for row in np.flatnonzero(tied_total > tied_kept):
+        kept = int(tied_kept[row])
+        tied = np.flatnonzero(flat_scores[row] == flat_kth[row, 0])[:kept]
+        flat_top[row, k - kept:] = tied
+    return top
 
 
 def _hit_matrix(top_items: np.ndarray, relevant: set[int]) -> np.ndarray:

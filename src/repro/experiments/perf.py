@@ -12,7 +12,10 @@ PRs:
   (:mod:`repro.serve`) and times batched top-K recommendation
   throughput — exact vs int8-quantized index, cold vs warm result
   cache, across request batch sizes — plus the quantized index's
-  top-K overlap with the exact path → ``BENCH_serve.json``.
+  top-K overlap with the exact path, plus a **sharded section**
+  sweeping shard counts × batch sizes through the scatter-gather
+  router with merge-overhead and per-shard-memory columns →
+  ``BENCH_serve.json``.
 
 Programmatic entry points:
 
@@ -20,6 +23,8 @@ Programmatic entry points:
 * :func:`time_eval` — users/s for one model's full-ranking pass.
 * :func:`run_perf_suite` — the fast-path grid; returns the JSON payload.
 * :func:`time_recommend` — users/s through a recommendation service.
+* :func:`time_recommend_sharded` — same, through the sharded router,
+  with scatter/score/merge decomposition.
 * :func:`run_serve_suite` — the serving grid; returns the JSON payload.
 
 CLI: ``python -m repro.cli perf`` / ``python -m repro.cli perf-serve``
@@ -29,6 +34,7 @@ CLI: ``python -m repro.cli perf`` / ``python -m repro.cli perf-serve``
 from __future__ import annotations
 
 import json
+import pathlib
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -45,14 +51,16 @@ from repro.train.trainer import Trainer
 
 __all__ = ["SCHEMA", "SERVE_SCHEMA", "PerfConfig", "ServePerfConfig",
            "time_train_steps", "time_eval", "run_perf_suite",
-           "time_recommend", "topk_overlap", "run_serve_suite",
-           "write_report", "summarize", "summarize_serve"]
+           "time_recommend", "time_recommend_sharded", "topk_overlap",
+           "run_serve_suite", "write_report", "summarize",
+           "summarize_serve"]
 
 #: Bump the suffix when the payload layout changes incompatibly.
 SCHEMA = "bsl-fastpath-bench/v1"
 
 #: Schema of the serving-throughput payload (``BENCH_serve.json``).
-SERVE_SCHEMA = "bsl-serve-bench/v1"
+#: v2 added the sharded scatter-gather section (``serve_sharded`` rows).
+SERVE_SCHEMA = "bsl-serve-bench/v2"
 
 
 @dataclass
@@ -246,6 +254,10 @@ class ServePerfConfig:
     #: distinct request users per timing pass (cycled over the user set)
     request_users: int = 1024
     max_batch: int = 256
+    #: shard counts for the scatter-gather sweep (empty tuple skips it)
+    shards: tuple = (2, 4)
+    partition_by: str = "both"
+    strategy: str = "contiguous"
     include_quantized: bool = True
     seed: int = 0
     extra_info: dict = field(default_factory=dict)
@@ -292,6 +304,59 @@ def time_recommend(service, users: np.ndarray, *, batch_size: int,
     }
 
 
+def time_recommend_sharded(service, users: np.ndarray, *, batch_size: int,
+                           k: int = 10, repeats: int = 3,
+                           shards: int = 1,
+                           partition_by: str = "both",
+                           strategy: str = "contiguous") -> dict:
+    """Time a :class:`~repro.serve.router.ShardedRecommendationService`.
+
+    Same protocol as :func:`time_recommend` (one untimed warmup pass,
+    then ``repeats`` timed passes) but the router's scatter/score/merge
+    counters are reset after the warmup, so the returned
+    ``merge_overhead_ms`` / ``merge_fraction`` columns describe exactly
+    the timed window.  Returns a result row of the ``serve_sharded``
+    kind, including the largest item shard's scoring-table bytes
+    (``per_shard_bytes``).
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+
+    def one_pass() -> None:
+        for lo in range(0, len(users), batch_size):
+            service.recommend(users[lo:lo + batch_size], k=k)
+
+    one_pass()
+    stats = service.router_stats
+    stats.reset()
+    start = time.perf_counter()
+    for _ in range(repeats):
+        one_pass()
+    elapsed = time.perf_counter() - start
+    n_batches = repeats * -(-len(users) // batch_size)
+    return {
+        "kind": "serve_sharded",
+        "index": service.index.kind,
+        "shards": int(shards),
+        "partition_by": partition_by,
+        "strategy": strategy,
+        "cache": "cold",
+        "batch_size": batch_size,
+        "k": k,
+        "users": int(len(users)),
+        "repeats": repeats,
+        "total_s": elapsed,
+        "users_per_s": len(users) * repeats / elapsed if elapsed > 0
+        else float("inf"),
+        "ms_per_batch": 1e3 * elapsed / n_batches,
+        "merge_overhead_ms": 1e3 * stats.merge_s / max(stats.sweeps, 1),
+        "merge_fraction": stats.merge_fraction,
+        "per_shard_bytes": int(max(service.index.per_shard_table_bytes)),
+    }
+
+
 def topk_overlap(exact_index, other_index, users: np.ndarray,
                  k: int = 10) -> float:
     """Mean fraction of the exact top-``k`` recovered by another index.
@@ -307,10 +372,18 @@ def topk_overlap(exact_index, other_index, users: np.ndarray,
 
 
 def run_serve_suite(config: ServePerfConfig | None = None) -> dict:
-    """Train, export and sweep the serving stack; return the payload."""
+    """Train, export and sweep the serving stack; return the payload.
+
+    Covers the unsharded grid (index kind × batch size × cache state,
+    plus quantized-vs-exact overlap) and, for every shard count in
+    ``config.shards``, a scatter-gather sweep over the same batch sizes
+    with merge-overhead and per-shard-memory columns.
+    """
     from repro.serve import (ExactTopKIndex, QuantizedTopKIndex,
-                             RecommendationService, export_snapshot,
-                             load_snapshot)
+                             RecommendationService,
+                             ShardedRecommendationService,
+                             ShardedTopKIndex, export_sharded_snapshot,
+                             export_snapshot, load_snapshot)
     config = config or ServePerfConfig()
     dataset = load_dataset(config.dataset)
     model = get_model(config.model, dataset, dim=config.dim, rng=config.seed)
@@ -368,6 +441,28 @@ def run_serve_suite(config: ServePerfConfig | None = None) -> dict:
             results.append(time_recommend(
                 warm, users, batch_size=max(config.batch_sizes), k=config.k,
                 repeats=config.repeats, label="warm"))
+        kinds = ["exact"] + (["quantized"] if config.include_quantized
+                             else [])
+        for n_shards in config.shards:
+            sharded = export_sharded_snapshot(
+                model, dataset, pathlib.Path(tmp) / f"shards-{n_shards}",
+                shards=n_shards, partition_by=config.partition_by,
+                strategy=config.strategy, model_name=config.model)
+            for kind in kinds:
+                # One router per (shards, kind): the shard tables are
+                # panelized/quantized once, and its default chunk_users
+                # matches the unsharded indexes so the sharded rows are
+                # apples-to-apples with the `serve` rows above.
+                router = ShardedTopKIndex(sharded, kind=kind)
+                for batch_size in config.batch_sizes:
+                    service = ShardedRecommendationService(
+                        sharded, index=router, cache_size=0,
+                        max_batch=max(config.max_batch, batch_size))
+                    results.append(time_recommend_sharded(
+                        service, users, batch_size=batch_size, k=config.k,
+                        repeats=config.repeats, shards=n_shards,
+                        partition_by=config.partition_by,
+                        strategy=config.strategy))
         snapshot_version = snapshot.version
     return {
         "schema": SERVE_SCHEMA,
@@ -384,6 +479,9 @@ def run_serve_suite(config: ServePerfConfig | None = None) -> dict:
             "repeats": config.repeats,
             "request_users": config.request_users,
             "max_batch": config.max_batch,
+            "shards": list(config.shards),
+            "partition_by": config.partition_by,
+            "strategy": config.strategy,
             "include_quantized": config.include_quantized,
             "seed": config.seed,
             **config.extra_info,
@@ -407,6 +505,13 @@ def summarize_serve(payload: dict) -> str:
             lines.append(f"  serve {row['index']:<9} batch={row['batch_size']:<4}"
                          f" cache={row['cache']:<4}: "
                          f"{row['users_per_s']:,.0f} users/s")
+        elif row["kind"] == "serve_sharded":
+            lines.append(
+                f"  shard {row['index']:<17} shards={row['shards']} "
+                f"batch={row['batch_size']:<4}: "
+                f"{row['users_per_s']:,.0f} users/s  "
+                f"(merge {100 * row['merge_fraction']:.1f}%, "
+                f"{row['per_shard_bytes'] / 1024:.0f} KiB/shard)")
     return "\n".join(lines)
 
 

@@ -7,6 +7,15 @@ an exact or int8-quantized :class:`~repro.serve.index.TopKIndex`, and
 answers batched user requests through
 :class:`~repro.serve.service.RecommendationService`.
 
+For horizontal scale the same state can be exported **sharded**
+(:func:`~repro.serve.snapshot.export_sharded_snapshot`): user and item
+partitions with per-shard manifests under a content-hashed
+``shards.json``, read back by :mod:`repro.serve.shard` and served
+through the scatter-gather
+:class:`~repro.serve.router.ShardedRecommendationService`, whose exact
+path is bit-identical to the single-process index (see
+``docs/sharding.md``).
+
 Typical flow (also available as ``repro export`` / ``repro recommend``)::
 
     from repro.serve import export_snapshot, load_snapshot
@@ -18,19 +27,35 @@ Typical flow (also available as ``repro export`` / ``repro recommend``)::
         print(rec.user_id, rec.items)
 """
 
-from repro.serve.index import (ExactTopKIndex, QuantizedTopKIndex, TopKIndex,
-                               TopKResult, build_index)
+from repro.serve.index import (PANEL_WIDTH, ExactTopKIndex,
+                               QuantizedTopKIndex, TopKIndex, TopKResult,
+                               build_index)
+from repro.serve.router import (RouterStats, ShardedRecommendationService,
+                                ShardedTopKIndex)
 from repro.serve.service import (LRUCache, PendingRequest, Recommendation,
                                  RecommendationService, ServiceStats)
-from repro.serve.snapshot import (SNAPSHOT_SCHEMA, EmbeddingSnapshot,
-                                  SnapshotManifest, export_snapshot,
-                                  load_snapshot)
+from repro.serve.shard import (ExactShardIndex, ItemShard, ItemShardIndex,
+                               QuantizedShardIndex, ShardedSnapshot,
+                               UserShard, build_shard_index,
+                               load_sharded_snapshot)
+from repro.serve.snapshot import (SHARD_SCHEMA, SHARDED_SCHEMA,
+                                  SNAPSHOT_SCHEMA, EmbeddingSnapshot,
+                                  ShardManifest, ShardedManifest,
+                                  SnapshotManifest, export_sharded_snapshot,
+                                  export_snapshot, is_sharded_snapshot,
+                                  load_snapshot, partition_ids)
 
 __all__ = [
-    "SNAPSHOT_SCHEMA", "SnapshotManifest", "EmbeddingSnapshot",
-    "export_snapshot", "load_snapshot",
-    "TopKResult", "TopKIndex", "ExactTopKIndex", "QuantizedTopKIndex",
-    "build_index",
+    "SNAPSHOT_SCHEMA", "SHARD_SCHEMA", "SHARDED_SCHEMA",
+    "SnapshotManifest", "ShardManifest", "ShardedManifest",
+    "EmbeddingSnapshot", "export_snapshot", "load_snapshot",
+    "partition_ids", "export_sharded_snapshot", "is_sharded_snapshot",
+    "PANEL_WIDTH", "TopKResult", "TopKIndex", "ExactTopKIndex",
+    "QuantizedTopKIndex", "build_index",
+    "UserShard", "ItemShard", "ItemShardIndex", "ExactShardIndex",
+    "QuantizedShardIndex", "ShardedSnapshot", "load_sharded_snapshot",
+    "build_shard_index",
+    "RouterStats", "ShardedTopKIndex", "ShardedRecommendationService",
     "Recommendation", "ServiceStats", "LRUCache", "PendingRequest",
     "RecommendationService",
 ]

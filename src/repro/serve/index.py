@@ -4,16 +4,16 @@ Two interchangeable paths answer ``topk(user_ids, k)``:
 
 * :class:`ExactTopKIndex` — chunked dense matmul over the float64
   tables.  It reproduces the offline
-  :class:`~repro.eval.evaluator.Evaluator` scoring **bit for bit**: the
-  same scoring formulas as
+  :class:`~repro.eval.evaluator.Evaluator` protocol exactly: the same
+  scoring formulas as
   :meth:`~repro.models.base.Recommender.predict_scores`, the same
   ``-inf`` seen-item scatter
-  (:func:`repro.eval.masking.mask_seen_items`), and the same
-  ``argpartition`` ranking (:func:`repro.eval.metrics.rank_items`), so
-  online recommendations are exactly the lists the paper's metrics were
+  (:func:`repro.eval.masking.mask_seen_items`), and the same canonical
+  ranking (:func:`repro.eval.metrics.rank_items`), so online
+  recommendations are exactly the lists the paper's metrics were
   computed on.
 * :class:`QuantizedTopKIndex` — the item table stored symmetric-int8
-  per row (8x smaller than float64) and dequantized chunk-by-chunk into
+  per row (8x smaller than float64) and dequantized panel-by-panel into
   a float32 matmul.  Approximate (last-ulp rank flips are possible) but
   at paper scales it keeps >0.95 top-10 overlap with the exact path;
   the serve benchmark (``repro perf-serve``) reports the measured
@@ -21,6 +21,20 @@ Two interchangeable paths answer ``topk(user_ids, k)``:
 
 Both indexes share masking and ranking plumbing via :class:`TopKIndex`,
 so ``filter_seen`` semantics cannot drift between paths.
+
+**Partition-invariant scoring.**  Dense BLAS matmuls are *not* bitwise
+stable across matrix shapes: computing a score block as one large GEMM
+versus per-shard sub-GEMMs can differ in the last ulp, which would make
+sharded serving drift from the single-process answer.  Every score in
+this module is therefore produced by a **fixed-shape panel kernel**
+(:func:`build_panels` / :func:`panel_scores`): the item side is cut into
+zero-padded panels of exactly :data:`PANEL_WIDTH` rows, so every GEMM
+call has an identical ``(chunk_users, dim) @ (dim, PANEL_WIDTH)`` shape
+regardless of catalogue size or shard boundaries.  A given (user, item)
+pair then always runs through the same BLAS micro-kernel with the same
+accumulation order, making scores a pure function of the two embedding
+rows — the property the sharded router in :mod:`repro.serve.router`
+needs for bit-identical scatter-gather (see ``docs/sharding.md``).
 """
 
 from __future__ import annotations
@@ -33,8 +47,122 @@ from repro.eval.masking import mask_seen_items
 from repro.eval.metrics import rank_items
 from repro.serve.snapshot import EmbeddingSnapshot
 
-__all__ = ["TopKResult", "TopKIndex", "ExactTopKIndex", "QuantizedTopKIndex",
-           "build_index"]
+__all__ = ["PANEL_WIDTH", "TopKResult", "TopKIndex", "ExactTopKIndex",
+           "QuantizedTopKIndex", "build_index", "scoring_ready_users",
+           "scoring_ready_items", "build_panels", "panel_scores",
+           "quantize_rows", "quantized_panel_scores"]
+
+#: Fixed item-panel width of every scoring GEMM.  Both sides of the
+#: sharded-vs-unsharded parity contract must use the same width.
+PANEL_WIDTH = 512
+
+
+# ----------------------------------------------------------------------
+# Shared scoring kernels (also used by repro.serve.shard)
+# ----------------------------------------------------------------------
+def scoring_ready_users(vectors: np.ndarray, scoring: str) -> np.ndarray:
+    """Query-side prep: float64 cast plus cosine row-normalization.
+
+    Mirrors ``predict_scores``: rows are selected *before* the
+    normalization so the arithmetic matches element for element.  All
+    operations are row-local, so gathering rows from user shards first
+    cannot change the result.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if scoring == "cosine":
+        vectors = vectors / (np.linalg.norm(vectors, axis=1,
+                                            keepdims=True) + 1e-12)
+    return vectors
+
+
+def scoring_ready_items(items: np.ndarray, scoring: str) -> np.ndarray:
+    """Catalogue-side prep with the scoring transform baked in.
+
+    The float64 cast and the cosine ``+ 1e-12`` row-normalization are
+    load-bearing for ranking parity — every index kind and every item
+    shard must start from exactly this per-row transform.
+    """
+    items = np.asarray(items, dtype=np.float64)
+    if scoring == "cosine":
+        items = items / (np.linalg.norm(items, axis=1, keepdims=True)
+                         + 1e-12)
+    return items
+
+
+def build_panels(items: np.ndarray, width: int = PANEL_WIDTH) -> np.ndarray:
+    """Pack item rows into zero-padded ``(n_panels, width, dim)`` panels.
+
+    The fixed panel width is what pins the GEMM shape (and therefore the
+    BLAS kernel and its accumulation order) independently of how many
+    items a table or shard holds.
+    """
+    if width <= 0:
+        raise ValueError(f"panel width must be positive, got {width}")
+    n, dim = items.shape
+    n_panels = max(1, -(-n // width))
+    panels = np.zeros((n_panels, width, dim), dtype=items.dtype)
+    for p in range(n_panels):
+        lo = p * width
+        hi = min(lo + width, n)
+        panels[p, :hi - lo] = items[lo:hi]
+    return panels
+
+
+def panel_scores(vectors: np.ndarray, panels: np.ndarray,
+                 n_items: int) -> np.ndarray:
+    """Dense ``(len(vectors), n_items)`` score block from padded panels.
+
+    Every matmul is ``(m, dim) @ (dim, width)`` with ``width`` fixed by
+    the panel layout, so a given (user, item) pair produces bitwise the
+    same score no matter which panel — or which shard's panel — the item
+    row sits in.
+    """
+    m = len(vectors)
+    width = panels.shape[1]
+    out = np.empty((m, n_items), dtype=np.float64)
+    for p in range(panels.shape[0]):
+        lo = p * width
+        hi = min(lo + width, n_items)
+        out[:, lo:hi] = (vectors @ panels[p].T)[:, :hi - lo]
+    return out
+
+
+def quantized_panel_scores(vectors32: np.ndarray, quantized: np.ndarray,
+                           scales: np.ndarray, width: int) -> np.ndarray:
+    """Score float32 user vectors against an int8 table, fixed panels.
+
+    Dequantizes ``width`` rows at a time into one reused zero-padded
+    float32 panel, so every GEMM is ``(m, dim) @ (dim, width)`` — the
+    float32 counterpart of :func:`panel_scores`, carrying the same
+    partition-invariance contract.  Both the unsharded
+    :class:`QuantizedTopKIndex` and the per-shard quantized scorer must
+    call exactly this loop; two copies could drift and break the
+    sharded bit-parity.  Returns a float64 block.
+    """
+    n, dim = quantized.shape
+    scores = np.empty((len(vectors32), n), dtype=np.float64)
+    panel = np.zeros((width, dim), dtype=np.float32)
+    for lo in range(0, n, width):
+        hi = min(lo + width, n)
+        panel[:hi - lo] = (quantized[lo:hi].astype(np.float32)
+                           * scales[lo:hi, None])
+        panel[hi - lo:] = 0.0
+        scores[:, lo:hi] = (vectors32 @ panel.T)[:, :hi - lo]
+    return scores
+
+
+def quantize_rows(items: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetric per-row int8 quantization of a scoring-ready table.
+
+    Returns ``(q, scales)`` with ``q[i] ≈ items[i] / scales[i]`` and
+    ``scales[i] = max|items[i]| / 127``.  Row-local by construction, so
+    a shard's rows quantize to exactly the same bytes as the same rows
+    in the full catalogue.
+    """
+    peak = np.abs(items).max(axis=1)
+    scales = np.where(peak > 0, peak / 127.0, 1.0)
+    q = np.clip(np.rint(items / scales[:, None]), -127, 127).astype(np.int8)
+    return q, scales.astype(np.float32)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -123,49 +251,44 @@ class TopKIndex:
         raise NotImplementedError
 
     def _user_vectors(self, users: np.ndarray) -> np.ndarray:
-        """Gather (and for cosine, normalize) the query-side rows.
-
-        Mirrors ``predict_scores``: rows are selected *before* the
-        normalization so the arithmetic matches element for element.
-        """
-        vectors = np.asarray(self.snapshot.users[users], dtype=np.float64)
-        if self.snapshot.scoring == "cosine":
-            vectors = vectors / (np.linalg.norm(vectors, axis=1,
-                                                keepdims=True) + 1e-12)
-        return vectors
-
-    def _scoring_ready_items(self) -> np.ndarray:
-        """Catalogue-side table with the scoring prep baked in.
-
-        The float64 cast and the cosine ``+ 1e-12`` row-normalization
-        are load-bearing for evaluator bit-exactness — both index kinds
-        must start from exactly this table.
-        """
-        items = np.asarray(self.snapshot.items, dtype=np.float64)
-        if self.snapshot.scoring == "cosine":
-            items = items / (np.linalg.norm(items, axis=1, keepdims=True)
-                             + 1e-12)
-        return items
+        """Gather the query-side rows and apply the scoring prep."""
+        return scoring_ready_users(self.snapshot.users[users],
+                                   self.snapshot.scoring)
 
 
 class ExactTopKIndex(TopKIndex):
-    """Exact retrieval: float64 chunked matmul, evaluator-identical."""
+    """Exact retrieval: fixed-panel float64 matmul, evaluator-identical.
+
+    Parameters
+    ----------
+    panel_width:
+        Item rows per scoring GEMM (default :data:`PANEL_WIDTH`).  Both
+        sides of a sharded parity comparison must use the same width.
+    """
 
     kind = "exact"
 
-    def __init__(self, snapshot: EmbeddingSnapshot, chunk_users: int = 256):
+    def __init__(self, snapshot: EmbeddingSnapshot, chunk_users: int = 256,
+                 panel_width: int = PANEL_WIDTH):
         super().__init__(snapshot, chunk_users)
-        items = self._scoring_ready_items()
-        self._items = items
+        items = scoring_ready_items(snapshot.items, snapshot.scoring)
+        self._n_items = len(items)
+        self._panels = build_panels(items, panel_width)
         self._item_sq = ((items ** 2).sum(axis=1)
                          if snapshot.scoring == "euclidean" else None)
 
+    @property
+    def table_bytes(self) -> int:
+        """Bytes held by the panelized float64 catalogue."""
+        return self._panels.nbytes
+
     def _score_chunk(self, users: np.ndarray) -> np.ndarray:
         vectors = self._user_vectors(users)
+        scores = panel_scores(vectors, self._panels, self._n_items)
         if self.snapshot.scoring == "euclidean":
             u_sq = (vectors ** 2).sum(axis=1, keepdims=True)
-            return -(u_sq + self._item_sq - 2.0 * vectors @ self._items.T)
-        return vectors @ self._items.T
+            return -(u_sq + self._item_sq - 2.0 * scores)
+        return scores
 
 
 class QuantizedTopKIndex(TopKIndex):
@@ -174,30 +297,28 @@ class QuantizedTopKIndex(TopKIndex):
     Each (scoring-ready) item row ``i`` is stored as
     ``int8 q[i] ≈ items[i] / scale[i]`` with
     ``scale[i] = max|items[i]| / 127``, an 8x compression of the
-    catalogue side.  Scoring dequantizes ``chunk_items`` rows at a time
-    into a float32 matmul, so peak extra memory stays at one small
-    float32 panel regardless of catalogue size.
+    catalogue side.  Scoring dequantizes :data:`PANEL_WIDTH` rows at a
+    time into a reused zero-padded float32 panel, so peak extra memory
+    stays at one small float32 panel regardless of catalogue size and
+    every GEMM keeps the fixed partition-invariant shape.
 
     Parameters
     ----------
     chunk_items:
-        Item rows dequantized per matmul panel.
+        Item rows dequantized per matmul panel (the float32 panel
+        width); defaults to :data:`PANEL_WIDTH`.
     """
 
     kind = "quantized"
 
     def __init__(self, snapshot: EmbeddingSnapshot, chunk_users: int = 256,
-                 chunk_items: int = 4096):
+                 chunk_items: int = PANEL_WIDTH):
         super().__init__(snapshot, chunk_users)
         if chunk_items <= 0:
             raise ValueError(f"chunk_items must be positive, got {chunk_items}")
         self.chunk_items = chunk_items
-        items = self._scoring_ready_items()
-        peak = np.abs(items).max(axis=1)
-        scales = np.where(peak > 0, peak / 127.0, 1.0)
-        self._quantized = np.clip(
-            np.rint(items / scales[:, None]), -127, 127).astype(np.int8)
-        self._scales = scales.astype(np.float32)
+        items = scoring_ready_items(snapshot.items, snapshot.scoring)
+        self._quantized, self._scales = quantize_rows(items)
         if snapshot.scoring == "euclidean":
             deq = self._quantized.astype(np.float32) * self._scales[:, None]
             self._item_sq = (deq.astype(np.float64) ** 2).sum(axis=1)
@@ -211,13 +332,8 @@ class QuantizedTopKIndex(TopKIndex):
 
     def _score_chunk(self, users: np.ndarray) -> np.ndarray:
         vectors = self._user_vectors(users).astype(np.float32)
-        n_items = self.snapshot.manifest.num_items
-        scores = np.empty((len(users), n_items), dtype=np.float64)
-        for lo in range(0, n_items, self.chunk_items):
-            hi = min(lo + self.chunk_items, n_items)
-            panel = (self._quantized[lo:hi].astype(np.float32)
-                     * self._scales[lo:hi, None])
-            scores[:, lo:hi] = vectors @ panel.T
+        scores = quantized_panel_scores(vectors, self._quantized,
+                                        self._scales, self.chunk_items)
         if self.snapshot.scoring == "euclidean":
             u_sq = (vectors.astype(np.float64) ** 2).sum(axis=1,
                                                          keepdims=True)

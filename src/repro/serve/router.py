@@ -1,0 +1,249 @@
+"""Scatter-gather routing over a sharded snapshot.
+
+:class:`ShardedTopKIndex` answers ``topk(user_ids, k)`` against a
+:class:`~repro.serve.shard.ShardedSnapshot` in three steps per user
+chunk:
+
+1. **scatter (users)** — route each requested user to its owning user
+   shard, gather the embedding rows (plus seen-item lists) back into
+   request order;
+2. **scatter (items)** — score the prepared user block against every
+   item shard's partial index, each returning its local top-K in global
+   item ids, already masked through the shared
+   :mod:`repro.eval.masking` scatter;
+3. **gather (merge)** — k-way heap merge of the per-shard partial
+   lists, keyed on ``(-score, global item id)``.
+
+Because shard scoring uses the same fixed-shape panel kernels as the
+unsharded :class:`~repro.serve.index.ExactTopKIndex` and ranking/merge
+both follow the canonical ``(score desc, id asc)`` order of
+:func:`repro.eval.metrics.rank_items`, the merged ranking — items *and*
+scores — is bit-identical to the unsharded index for the exact path
+(``tests/test_serve_sharded.py`` pins this for every shard count ×
+partition axis; the full contract is in ``docs/sharding.md``).
+
+:class:`ShardedRecommendationService` is the drop-in request front end:
+it subclasses :class:`~repro.serve.service.RecommendationService`, so
+result caching (keyed on the sharded snapshot's content hash) and
+request micro-batching behave identically to single-process serving.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import time
+
+import numpy as np
+
+from repro.serve.index import TopKResult, scoring_ready_users
+from repro.serve.service import RecommendationService
+from repro.serve.shard import ShardedSnapshot, build_shard_index
+
+__all__ = ["RouterStats", "ShardedTopKIndex",
+           "ShardedRecommendationService"]
+
+
+@dataclasses.dataclass
+class RouterStats:
+    """Cumulative scatter-gather timings (drives the serve benchmark's
+    merge-overhead column)."""
+
+    sweeps: int = 0
+    users_routed: int = 0
+    gather_s: float = 0.0
+    score_s: float = 0.0
+    merge_s: float = 0.0
+
+    @property
+    def merge_fraction(self) -> float:
+        """Share of routed wall-clock spent merging partial lists."""
+        total = self.gather_s + self.score_s + self.merge_s
+        return self.merge_s / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter (used between benchmark passes)."""
+        self.sweeps = 0
+        self.users_routed = 0
+        self.gather_s = 0.0
+        self.score_s = 0.0
+        self.merge_s = 0.0
+
+
+class ShardedTopKIndex:
+    """Scatter-gather top-K index over a sharded snapshot.
+
+    Implements the same ``topk`` protocol as
+    :class:`~repro.serve.index.TopKIndex`, so it plugs into
+    :class:`~repro.serve.service.RecommendationService` unchanged.
+
+    Parameters
+    ----------
+    snapshot:
+        Loaded :class:`~repro.serve.shard.ShardedSnapshot`.
+    kind:
+        Per-shard scorer kind: ``"exact"`` or ``"quantized"``.
+    chunk_users:
+        Users scored per dense block.  Part of the parity contract: the
+        unsharded index being compared against must use the same value
+        (both default to 256), because the BLAS panel kernel's bit
+        pattern is pinned per (chunk, panel) shape.
+    **index_kwargs:
+        Extra arguments for the per-shard scorers (e.g. ``panel_width``
+        for exact, ``chunk_items`` for quantized).
+    """
+
+    def __init__(self, snapshot: ShardedSnapshot, kind: str = "exact",
+                 chunk_users: int = 256, **index_kwargs):
+        if chunk_users <= 0:
+            raise ValueError(f"chunk_users must be positive, got {chunk_users}")
+        self.snapshot = snapshot
+        self.chunk_users = chunk_users
+        self.shard_indexes = [
+            build_shard_index(shard, snapshot.scoring, kind, **index_kwargs)
+            for shard in snapshot.item_shards]
+        self.stats = RouterStats()
+        self._kind = kind
+
+    @property
+    def kind(self) -> str:
+        """Tag recorded in benchmarks and service cache keys."""
+        return f"sharded-{self._kind}"
+
+    @property
+    def per_shard_table_bytes(self) -> list[int]:
+        """Scoring-table bytes held by each item shard's index."""
+        return [index.table_bytes for index in self.shard_indexes]
+
+    # ------------------------------------------------------------------
+    def topk(self, user_ids, k: int = 10,
+             filter_seen: bool = True) -> TopKResult:
+        """Scatter-gather ranked recommendations for a batch of users.
+
+        Same semantics as
+        :meth:`repro.serve.index.TopKIndex.topk`; for the exact path the
+        result is bit-identical to the unsharded index's answer for the
+        same request.
+        """
+        users = np.atleast_1d(np.asarray(user_ids, dtype=np.int64))
+        if users.ndim != 1:
+            raise ValueError(f"user_ids must be 1-D, got shape {users.shape}")
+        manifest = self.snapshot.manifest
+        if len(users) and (users.min() < 0
+                           or users.max() >= manifest.num_users):
+            raise ValueError(f"user ids must lie in [0, {manifest.num_users})")
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        k = min(k, manifest.num_items)
+        out_items = np.empty((len(users), k), dtype=np.int64)
+        out_scores = np.empty((len(users), k), dtype=np.float64)
+        for lo in range(0, len(users), self.chunk_users):
+            chunk = users[lo:lo + self.chunk_users]
+            items, scores = self._route_chunk(chunk, k, filter_seen)
+            out_items[lo:lo + len(chunk)] = items
+            out_scores[lo:lo + len(chunk)] = scores
+        self.stats.sweeps += 1
+        self.stats.users_routed += len(users)
+        return TopKResult(user_ids=users, items=out_items, scores=out_scores,
+                          k=k, filtered_seen=filter_seen)
+
+    # ------------------------------------------------------------------
+    def _route_chunk(self, chunk: np.ndarray, k: int, filter_seen: bool
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """One scatter-gather pass for up to ``chunk_users`` users."""
+        t0 = time.perf_counter()
+        vectors = scoring_ready_users(
+            self.snapshot.gather_user_rows(chunk), self.snapshot.scoring)
+        if filter_seen:
+            seen_indptr, seen_global = self.snapshot.gather_seen(chunk)
+        else:
+            seen_indptr, seen_global = None, None
+        t1 = time.perf_counter()
+        partials = [index.partial_topk(vectors, k, seen_indptr, seen_global)
+                    for index in self.shard_indexes]
+        t2 = time.perf_counter()
+        items, scores = _merge_partials(partials, k)
+        t3 = time.perf_counter()
+        self.stats.gather_s += t1 - t0
+        self.stats.score_s += t2 - t1
+        self.stats.merge_s += t3 - t2
+        return items, scores
+
+    def __repr__(self) -> str:
+        m = self.snapshot.manifest
+        return (f"ShardedTopKIndex(kind={self.kind!r}, "
+                f"item_shards={m.num_item_shards}, "
+                f"user_shards={m.num_user_shards}, "
+                f"snapshot={m.version!r})")
+
+
+def _merge_partials(partials: list[tuple[np.ndarray, np.ndarray]],
+                    k: int) -> tuple[np.ndarray, np.ndarray]:
+    """K-way heap merge of per-shard partial top-K lists, per user.
+
+    Each partial is ``(global_ids, scores)`` of shape ``(m, k_s)`` with
+    rows sorted by the canonical ``(score desc, id asc)`` order; the
+    heap key ``(-score, id)`` preserves exactly that order across
+    shards, so the first ``k`` popped entries equal the unsharded
+    canonical ranking truncated at ``k``.
+    """
+    if len(partials) == 1:
+        ids, scores = partials[0]
+        return ids[:, :k], scores[:, :k]
+    m = partials[0][0].shape[0]
+    out_items = np.empty((m, k), dtype=np.int64)
+    out_scores = np.empty((m, k), dtype=np.float64)
+    for row in range(m):
+        heap = []
+        for s, (ids, scores) in enumerate(partials):
+            if ids.shape[1]:
+                heap.append((-scores[row, 0], int(ids[row, 0]), s, 0))
+        heapq.heapify(heap)
+        for rank in range(k):
+            neg_score, gid, s, pos = heapq.heappop(heap)
+            out_items[row, rank] = gid
+            out_scores[row, rank] = -neg_score
+            pos += 1
+            ids, scores = partials[s]
+            if pos < ids.shape[1]:
+                heapq.heappush(
+                    heap, (-scores[row, pos], int(ids[row, pos]), s, pos))
+    return out_items, out_scores
+
+
+class ShardedRecommendationService(RecommendationService):
+    """Request front end over a sharded snapshot (drop-in service).
+
+    Everything request-facing — result LRU keyed on the snapshot's
+    content hash, request micro-batching via ``submit()``/``flush()`` —
+    is inherited from
+    :class:`~repro.serve.service.RecommendationService`; only the index
+    underneath is the scatter-gather router.
+
+    Parameters
+    ----------
+    snapshot:
+        Loaded :class:`~repro.serve.shard.ShardedSnapshot`.
+    kind:
+        Per-shard scorer kind (``"exact"`` / ``"quantized"``) when no
+        explicit ``index`` is given.
+    index:
+        Pre-built :class:`ShardedTopKIndex`; must wrap the same sharded
+        snapshot (checked by content version).
+    cache_size, max_batch:
+        As in the unsharded service.
+    """
+
+    def __init__(self, snapshot: ShardedSnapshot, *, kind: str = "exact",
+                 index: ShardedTopKIndex | None = None,
+                 cache_size: int = 4096, max_batch: int = 256):
+        if index is None:
+            index = ShardedTopKIndex(snapshot, kind=kind,
+                                     chunk_users=max_batch)
+        super().__init__(snapshot, index=index, cache_size=cache_size,
+                         max_batch=max_batch)
+
+    @property
+    def router_stats(self) -> RouterStats:
+        """Scatter-gather timing counters of the underlying router."""
+        return self.index.stats

@@ -18,6 +18,17 @@ training graph again:
 Because propagation is baked in at export time, serving cost is one
 dense gather + matmul per request batch regardless of backbone depth —
 a LightGCN-3 snapshot serves exactly as fast as an MF snapshot.
+
+**Sharded snapshots.**  :func:`export_sharded_snapshot` writes the same
+content horizontally partitioned for multi-process serving: a directory
+of *user shards* (embedding rows + seen-item CSR for a subset of users)
+and *item shards* (embedding rows for a subset of the catalogue), under
+a content-hashed top-level ``shards.json``.  Users and items partition
+independently (``partition_by`` ∈ ``user``/``item``/``both``) with
+either ``contiguous`` range or ``hash`` (``id % n``) placement.  The
+scatter-gather reader lives in :mod:`repro.serve.shard` /
+:mod:`repro.serve.router`; the partitioning and merge contract is
+documented in ``docs/sharding.md``.
 """
 
 from __future__ import annotations
@@ -26,6 +37,8 @@ import dataclasses
 import hashlib
 import json
 import pathlib
+import re
+import shutil
 import time
 
 import numpy as np
@@ -34,11 +47,25 @@ from repro.data.dataset import InteractionDataset
 from repro.eval.masking import seen_items_csr
 from repro.models.base import Recommender
 
-__all__ = ["SNAPSHOT_SCHEMA", "SnapshotManifest", "EmbeddingSnapshot",
-           "export_snapshot", "load_snapshot"]
+__all__ = ["SNAPSHOT_SCHEMA", "SHARD_SCHEMA", "SHARDED_SCHEMA",
+           "SnapshotManifest", "ShardManifest", "ShardedManifest",
+           "EmbeddingSnapshot", "export_snapshot", "load_snapshot",
+           "partition_ids", "export_sharded_snapshot",
+           "is_sharded_snapshot"]
 
 #: Bump when the on-disk layout changes incompatibly.
 SNAPSHOT_SCHEMA = "bsl-serve-snapshot/v1"
+
+#: Schema of one shard directory's ``manifest.json``.
+SHARD_SCHEMA = "bsl-serve-shard/v1"
+
+#: Schema of a sharded snapshot's top-level ``shards.json``.
+SHARDED_SCHEMA = "bsl-serve-sharded/v1"
+
+#: Partitioning strategies accepted by :func:`partition_ids`.
+PARTITION_STRATEGIES = ("contiguous", "hash")
+
+_SHARDS_MANIFEST = "shards.json"
 
 _FILES = {
     "users": "user_embeddings.npy",
@@ -177,6 +204,23 @@ class EmbeddingSnapshot:
                 f"scoring={m.scoring!r})")
 
 
+def _frozen_tables(model: Recommender) -> tuple[np.ndarray, np.ndarray]:
+    """Final (user, item) float64 tables with propagation applied.
+
+    Runs ``model.embeddings()`` once in eval mode (dropout and SSL
+    perturbations off, exactly like ``predict_scores``).
+    """
+    was_training = model.training
+    model.eval()
+    try:
+        users, items = model.embeddings()
+    finally:
+        if was_training:
+            model.train()
+    return (np.ascontiguousarray(users, dtype=np.float64),
+            np.ascontiguousarray(items, dtype=np.float64))
+
+
 def export_snapshot(model: Recommender, dataset: InteractionDataset,
                     out_dir, *, model_name: str | None = None,
                     extra: dict | None = None) -> EmbeddingSnapshot:
@@ -209,16 +253,12 @@ def export_snapshot(model: Recommender, dataset: InteractionDataset,
             f"dataset is ({dataset.num_users}, {dataset.num_items})")
     out_dir = pathlib.Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
+    # A prior sharded export into this directory must not survive: its
+    # shards.json would make `recommend` route to the stale sharded
+    # model instead of this fresh export.
+    _remove_stale_layout(out_dir, for_sharded=False)
 
-    was_training = model.training
-    model.eval()
-    try:
-        users, items = model.embeddings()
-    finally:
-        if was_training:
-            model.train()
-    users = np.ascontiguousarray(users, dtype=np.float64)
-    items = np.ascontiguousarray(items, dtype=np.float64)
+    users, items = _frozen_tables(model)
     seen_indptr, seen_items = seen_items_csr(dataset.train_items_by_user)
 
     name = model_name or type(model).__name__.lower()
@@ -283,3 +323,286 @@ def load_snapshot(path, *, mmap: bool = True,
             f"snapshot content hash does not match manifest version "
             f"{manifest.version!r}; files were modified after export")
     return snapshot
+
+
+# ----------------------------------------------------------------------
+# Sharded snapshots
+# ----------------------------------------------------------------------
+def partition_ids(n: int, num_shards: int,
+                  strategy: str = "contiguous") -> list[np.ndarray]:
+    """Split ``arange(n)`` into ``num_shards`` ascending id arrays.
+
+    ``contiguous`` assigns ranges (``np.array_split`` boundaries);
+    ``hash`` assigns by residue (shard ``s`` owns ``id % num_shards ==
+    s``).  Every shard's array is sorted ascending and the union covers
+    ``[0, n)`` exactly — the invariant the scatter-gather router's
+    global/local id mapping relies on.
+    """
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    if num_shards > n:
+        raise ValueError(f"cannot cut {n} ids into {num_shards} non-empty "
+                         f"shards")
+    if strategy == "contiguous":
+        return np.array_split(np.arange(n, dtype=np.int64), num_shards)
+    if strategy == "hash":
+        return [np.arange(s, n, num_shards, dtype=np.int64)
+                for s in range(num_shards)]
+    raise ValueError(f"unknown partition strategy {strategy!r}; "
+                     f"available: {PARTITION_STRATEGIES}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardManifest:
+    """Identity card of one shard directory inside a sharded snapshot.
+
+    ``version`` is a content hash over the shard's arrays plus its
+    identifying fields; the top-level :class:`ShardedManifest` hashes
+    these child versions, so tampering with any shard invalidates the
+    whole snapshot under ``verify=True``.
+    """
+
+    schema: str
+    version: str
+    kind: str
+    index: int
+    num_shards: int
+    strategy: str
+    count: int
+    dim: int
+    scoring: str
+    num_users: int
+    num_items: int
+
+    def to_json(self) -> str:
+        """Serialize to the shard's ``manifest.json`` representation."""
+        return json.dumps(dataclasses.asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ShardManifest":
+        """Parse a shard ``manifest.json``, rejecting unknown fields."""
+        payload = json.loads(text)
+        unknown = set(payload) - {f.name for f in dataclasses.fields(cls)}
+        if unknown:
+            raise ValueError(f"shard manifest has unknown fields "
+                             f"{sorted(unknown)}; written by a newer schema?")
+        return cls(**payload)
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardedManifest:
+    """Top-level ``shards.json`` of a sharded snapshot directory.
+
+    ``user_shards`` / ``item_shards`` list ``{"path", "version",
+    "count"}`` entries in shard order; ``version`` is a content hash
+    over the child shard versions and the identity fields, so it plays
+    the same cache-key role as an unsharded snapshot's version.
+    """
+
+    schema: str
+    version: str
+    model: str
+    model_class: str
+    dim: int
+    num_users: int
+    num_items: int
+    dataset: str
+    scoring: str
+    partition_by: str
+    strategy: str
+    num_user_shards: int
+    num_item_shards: int
+    user_shards: list
+    item_shards: list
+    created_unix: float
+    extra: dict = dataclasses.field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Serialize to the on-disk ``shards.json`` representation."""
+        return json.dumps(dataclasses.asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ShardedManifest":
+        """Parse ``shards.json`` text, rejecting unknown fields."""
+        payload = json.loads(text)
+        unknown = set(payload) - {f.name for f in dataclasses.fields(cls)}
+        if unknown:
+            raise ValueError(f"shards.json has unknown fields "
+                             f"{sorted(unknown)}; written by a newer schema?")
+        return cls(**payload)
+
+
+#: shard subdirectory naming used by the sharded exporter/loader
+_SHARD_DIR = re.compile(r"^(user|item)-shard-\d{2}$")
+
+
+def _remove_stale_layout(out_dir: pathlib.Path, *,
+                         for_sharded: bool) -> None:
+    """Drop stale artifacts before re-exporting into a directory.
+
+    Exports overwrite in place, but the directory must never end up
+    satisfying both loaders at once — an unsharded export leaving a
+    previous ``shards.json`` behind (or vice versa) would make
+    ``recommend`` silently serve the stale model.  Old shard
+    subdirectories always go (a re-export with a smaller shard count
+    must not leave orphans); they are only removed when they match the
+    exporter's naming pattern *and* carry a shard manifest, so
+    unrelated user files are never touched.
+    """
+    (out_dir / _SHARDS_MANIFEST).unlink(missing_ok=True)
+    for child in out_dir.iterdir():
+        if (child.is_dir() and _SHARD_DIR.match(child.name)
+                and (child / _MANIFEST).is_file()):
+            shutil.rmtree(child)
+    if for_sharded:
+        (out_dir / _MANIFEST).unlink(missing_ok=True)
+        for fname in _FILES.values():
+            (out_dir / fname).unlink(missing_ok=True)
+
+
+def _sharded_version(identity: tuple, shard_versions: list[str]) -> str:
+    """Top-level content hash from the child shard versions."""
+    digest = hashlib.sha256()
+    digest.update(repr(identity).encode())
+    for version in shard_versions:
+        digest.update(version.encode())
+    return digest.hexdigest()[:16]
+
+
+def _write_user_shard(out_dir: pathlib.Path, index: int, ids: np.ndarray,
+                      users: np.ndarray, seen_by_user: list,
+                      base: dict) -> dict:
+    """Persist one user shard directory; returns its shards.json entry."""
+    shard_dir = out_dir / f"user-shard-{index:02d}"
+    shard_dir.mkdir(parents=True, exist_ok=True)
+    rows = np.ascontiguousarray(users[ids])
+    indptr, seen = seen_items_csr([seen_by_user[u] for u in ids])
+    version = _content_version(
+        rows, ids, indptr, seen,
+        (SHARD_SCHEMA, "user", index, base["num_shards"], base["strategy"]))
+    manifest = ShardManifest(schema=SHARD_SCHEMA, version=version,
+                             kind="user", index=index, count=len(ids),
+                             **base)
+    np.save(shard_dir / "user_embeddings.npy", rows)
+    np.save(shard_dir / "user_ids.npy", ids)
+    np.save(shard_dir / "seen_indptr.npy", indptr)
+    np.save(shard_dir / "seen_items.npy", seen)
+    (shard_dir / _MANIFEST).write_text(manifest.to_json() + "\n")
+    return {"path": shard_dir.name, "version": version, "count": len(ids)}
+
+
+def _write_item_shard(out_dir: pathlib.Path, index: int, ids: np.ndarray,
+                      items: np.ndarray, base: dict) -> dict:
+    """Persist one item shard directory; returns its shards.json entry."""
+    shard_dir = out_dir / f"item-shard-{index:02d}"
+    shard_dir.mkdir(parents=True, exist_ok=True)
+    rows = np.ascontiguousarray(items[ids])
+    version = _content_version(
+        rows, ids, np.empty(0, np.int64), np.empty(0, np.int64),
+        (SHARD_SCHEMA, "item", index, base["num_shards"], base["strategy"]))
+    manifest = ShardManifest(schema=SHARD_SCHEMA, version=version,
+                             kind="item", index=index, count=len(ids),
+                             **base)
+    np.save(shard_dir / "item_embeddings.npy", rows)
+    np.save(shard_dir / "item_ids.npy", ids)
+    (shard_dir / _MANIFEST).write_text(manifest.to_json() + "\n")
+    return {"path": shard_dir.name, "version": version, "count": len(ids)}
+
+
+def export_sharded_snapshot(model: Recommender, dataset: InteractionDataset,
+                            out_dir, *, shards: int,
+                            partition_by: str = "both",
+                            strategy: str = "contiguous",
+                            model_name: str | None = None,
+                            extra: dict | None = None):
+    """Freeze a trained model into a horizontally partitioned snapshot.
+
+    Writes ``shards`` user-shard directories and/or ``shards``
+    item-shard directories (per ``partition_by``) under ``out_dir``,
+    plus a content-hashed top-level ``shards.json``.  The embedding
+    values, seen-item sets and manifest identity are exactly those an
+    unsharded :func:`export_snapshot` of the same model would produce —
+    only the placement differs — which is what lets the scatter-gather
+    router reproduce the unsharded rankings bit for bit.
+
+    Parameters
+    ----------
+    model, dataset, model_name, extra:
+        As in :func:`export_snapshot`.
+    out_dir:
+        Target directory (created if missing; files are overwritten).
+    shards:
+        Number of partitions along each sharded axis.
+    partition_by:
+        ``"user"`` shards only the user side, ``"item"`` only the item
+        side, ``"both"`` (default) shards both; the un-sharded side is
+        stored as a single shard.
+    strategy:
+        ``"contiguous"`` or ``"hash"`` (see :func:`partition_ids`).
+
+    Returns the loaded
+    :class:`~repro.serve.shard.ShardedSnapshot`.
+    """
+    if partition_by not in ("user", "item", "both"):
+        raise ValueError(f"partition_by must be user/item/both, "
+                         f"got {partition_by!r}")
+    if (model.num_users, model.num_items) != (dataset.num_users,
+                                              dataset.num_items):
+        raise ValueError(
+            f"model is sized ({model.num_users}, {model.num_items}) but "
+            f"dataset is ({dataset.num_users}, {dataset.num_items})")
+    num_user_shards = shards if partition_by in ("user", "both") else 1
+    num_item_shards = shards if partition_by in ("item", "both") else 1
+
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    _remove_stale_layout(out_dir, for_sharded=True)
+    users, items = _frozen_tables(model)
+
+    base = {"dim": model.dim, "scoring": model.test_scoring,
+            "num_users": model.num_users, "num_items": model.num_items,
+            "strategy": strategy}
+    user_entries = [
+        _write_user_shard(out_dir, i, ids, users,
+                          dataset.train_items_by_user,
+                          {**base, "num_shards": num_user_shards})
+        for i, ids in enumerate(partition_ids(model.num_users,
+                                              num_user_shards, strategy))]
+    item_entries = [
+        _write_item_shard(out_dir, i, ids, items,
+                          {**base, "num_shards": num_item_shards})
+        for i, ids in enumerate(partition_ids(model.num_items,
+                                              num_item_shards, strategy))]
+
+    name = model_name or type(model).__name__.lower()
+    identity = (SHARDED_SCHEMA, type(model).__name__, model.dim,
+                model.num_users, model.num_items, model.test_scoring,
+                partition_by, strategy, num_user_shards, num_item_shards)
+    manifest = ShardedManifest(
+        schema=SHARDED_SCHEMA,
+        version=_sharded_version(
+            identity, [e["version"] for e in user_entries + item_entries]),
+        model=name,
+        model_class=type(model).__name__,
+        dim=model.dim,
+        num_users=model.num_users,
+        num_items=model.num_items,
+        dataset=dataset.name,
+        scoring=model.test_scoring,
+        partition_by=partition_by,
+        strategy=strategy,
+        num_user_shards=num_user_shards,
+        num_item_shards=num_item_shards,
+        user_shards=user_entries,
+        item_shards=item_entries,
+        created_unix=time.time(),
+        extra=dict(extra or {}))
+    (out_dir / _SHARDS_MANIFEST).write_text(manifest.to_json() + "\n")
+
+    from repro.serve.shard import load_sharded_snapshot
+    return load_sharded_snapshot(out_dir)
+
+
+def is_sharded_snapshot(path) -> bool:
+    """True if ``path`` holds a sharded snapshot (has a ``shards.json``)."""
+    return (pathlib.Path(path) / _SHARDS_MANIFEST).is_file()

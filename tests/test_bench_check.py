@@ -1,0 +1,111 @@
+"""The bench-schema validator catches rot; the committed files pass it."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+@pytest.fixture(scope="module")
+def check_bench():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench", REPO_ROOT / "scripts" / "check_bench.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _minimal_serve_payload():
+    return {
+        "schema": "bsl-serve-bench/v2",
+        "created_unix": 1.0,
+        "dataset": "tiny",
+        "config": {"k": 5},
+        "results": [
+            {"kind": "serve", "index": "exact", "cache": "cold",
+             "batch_size": 8, "k": 5, "users_per_s": 100.0,
+             "ms_per_batch": 1.0, "cache_hit_rate": 0.0},
+            {"kind": "serve_sharded", "index": "sharded-exact",
+             "shards": 2, "partition_by": "both", "strategy": "contiguous",
+             "batch_size": 8, "k": 5, "users_per_s": 90.0,
+             "merge_overhead_ms": 0.1, "merge_fraction": 0.05,
+             "per_shard_bytes": 1024},
+        ],
+    }
+
+
+class TestRepoFilesPass:
+    def test_committed_bench_files_validate(self, check_bench):
+        assert check_bench.main([]) == 0
+
+    def test_serve_schema_is_v2(self):
+        payload = json.loads((REPO_ROOT / "BENCH_serve.json").read_text())
+        assert payload["schema"] == "bsl-serve-bench/v2"
+        kinds = {row["kind"] for row in payload["results"]}
+        assert {"serve", "serve_sharded", "overlap"} <= kinds
+
+
+class TestValidatorCatchesRot:
+    def test_good_payload_passes(self, check_bench):
+        problems = check_bench.check_payload("BENCH_serve.json",
+                                             _minimal_serve_payload())
+        assert problems == []
+
+    def test_wrong_schema_rejected(self, check_bench):
+        payload = _minimal_serve_payload()
+        payload["schema"] = "bsl-serve-bench/v1"
+        problems = check_bench.check_payload("BENCH_serve.json", payload)
+        assert any("does not match expected" in p for p in problems)
+
+    def test_missing_section_rejected(self, check_bench):
+        payload = _minimal_serve_payload()
+        payload["results"] = [r for r in payload["results"]
+                              if r["kind"] != "serve_sharded"]
+        problems = check_bench.check_payload("BENCH_serve.json", payload)
+        assert any("serve_sharded" in p and "required section" in p
+                   for p in problems)
+
+    @pytest.mark.parametrize("bad", [float("inf"), float("nan")])
+    def test_non_finite_numbers_rejected(self, check_bench, bad):
+        payload = _minimal_serve_payload()
+        payload["results"][0]["users_per_s"] = bad
+        problems = check_bench.check_payload("BENCH_serve.json", payload)
+        assert any("non-finite" in p for p in problems)
+
+    def test_missing_row_fields_rejected(self, check_bench):
+        payload = _minimal_serve_payload()
+        del payload["results"][1]["merge_overhead_ms"]
+        problems = check_bench.check_payload("BENCH_serve.json", payload)
+        assert any("missing fields" in p and "merge_overhead_ms" in p
+                   for p in problems)
+
+    def test_missing_top_level_key_rejected(self, check_bench):
+        payload = _minimal_serve_payload()
+        del payload["results"]
+        problems = check_bench.check_payload("BENCH_serve.json", payload)
+        assert any("missing top-level key" in p for p in problems)
+
+    def test_empty_results_rejected(self, check_bench):
+        payload = _minimal_serve_payload()
+        payload["results"] = []
+        problems = check_bench.check_payload("BENCH_serve.json", payload)
+        assert any("empty" in p for p in problems)
+
+    def test_missing_file_reported(self, check_bench, tmp_path):
+        problems = check_bench.check_file(tmp_path / "BENCH_serve.json")
+        assert any("file missing" in p for p in problems)
+
+    def test_invalid_json_reported(self, check_bench, tmp_path):
+        path = tmp_path / "BENCH_serve.json"
+        path.write_text("{not json")
+        problems = check_bench.check_file(path)
+        assert any("invalid JSON" in p for p in problems)
+
+    def test_unknown_file_reported(self, check_bench, tmp_path):
+        path = tmp_path / "BENCH_other.json"
+        path.write_text("{}")
+        problems = check_bench.check_file(path)
+        assert any("unknown bench file" in p for p in problems)

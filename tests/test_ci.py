@@ -1,0 +1,150 @@
+"""The CI workflows stay executable: every command they invoke exists.
+
+In the style of ``tests/test_docs.py``: the workflow YAML under
+``.github/workflows/`` is parsed and every ``run:`` step is checked
+against the repository — ``make`` targets must exist in the Makefile,
+referenced scripts must exist on disk, and ``repro <verb>`` invocations
+must be real CLI subcommands — so the workflow cannot rot silently when
+a target or script is renamed.
+"""
+
+import pathlib
+import re
+import shlex
+
+import pytest
+import yaml
+
+from repro import cli
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+WORKFLOWS = REPO_ROOT / ".github" / "workflows"
+
+_MAKE_TARGET = re.compile(r"^([A-Za-z0-9_.-]+):", re.MULTILINE)
+
+
+def _load(name):
+    return yaml.safe_load((WORKFLOWS / name).read_text())
+
+
+def _run_commands(workflow) -> list[str]:
+    """Every shell line of every ``run:`` step in every job."""
+    commands = []
+    for job in workflow["jobs"].values():
+        for step in job["steps"]:
+            if "run" in step:
+                commands.extend(line.strip()
+                                for line in step["run"].splitlines()
+                                if line.strip())
+    return commands
+
+
+def _make_targets() -> set[str]:
+    return set(_MAKE_TARGET.findall((REPO_ROOT / "Makefile").read_text()))
+
+
+def _cli_verbs() -> set[str]:
+    parser = cli.build_parser()
+    for action in parser._actions:  # noqa: SLF001 - argparse has no API
+        if hasattr(action, "choices") and action.choices:
+            return set(action.choices)
+    return set()
+
+
+class TestWorkflowsExist:
+    def test_both_workflows_present(self):
+        assert (WORKFLOWS / "ci.yml").is_file()
+        assert (WORKFLOWS / "ci-slow.yml").is_file()
+
+    def test_ci_triggers_on_push_and_pr(self):
+        workflow = _load("ci.yml")
+        # pyyaml parses the bare `on:` key as boolean True
+        triggers = workflow.get("on", workflow.get(True))
+        assert "push" in triggers and "pull_request" in triggers
+
+    def test_ci_matrix_covers_supported_pythons(self):
+        workflow = _load("ci.yml")
+        matrix = workflow["jobs"]["verify"]["strategy"]["matrix"]
+        assert set(matrix["python-version"]) == {"3.10", "3.11", "3.12"}
+
+    def test_ci_slow_is_nightly_and_manual(self):
+        workflow = _load("ci-slow.yml")
+        triggers = workflow.get("on", workflow.get(True))
+        assert "workflow_dispatch" in triggers
+        assert "schedule" in triggers and triggers["schedule"]
+
+
+class TestWorkflowCommandsExist:
+    """Every invoked command resolves against the real repository."""
+
+    @pytest.mark.parametrize("name", ["ci.yml", "ci-slow.yml"])
+    def test_make_targets_exist(self, name):
+        targets = _make_targets()
+        for command in _run_commands(_load(name)):
+            tokens = shlex.split(command)
+            if tokens and tokens[0] == "make":
+                for target in tokens[1:]:
+                    assert target in targets, \
+                        f"{name} invokes unknown make target {target!r}"
+
+    @pytest.mark.parametrize("name", ["ci.yml", "ci-slow.yml"])
+    def test_referenced_scripts_exist(self, name):
+        for command in _run_commands(_load(name)):
+            for token in shlex.split(command):
+                if token.startswith(("scripts/", "benchmarks/", "src/")):
+                    assert (REPO_ROOT / token).exists(), \
+                        f"{name} references missing file {token!r}"
+
+    @pytest.mark.parametrize("name", ["ci.yml", "ci-slow.yml"])
+    def test_repro_verbs_are_real(self, name):
+        verbs = _cli_verbs()
+        for command in _run_commands(_load(name)):
+            tokens = shlex.split(command)
+            if tokens and tokens[0] == "repro":
+                assert tokens[1] in verbs, \
+                    f"{name} invokes unknown CLI verb `repro {tokens[1]}`"
+
+    def test_ci_gates_on_strict_verify(self):
+        """The PR gate must run `make ci` (strict verify.sh)."""
+        commands = _run_commands(_load("ci.yml"))
+        assert any(c == "make ci" for c in commands)
+        makefile = (REPO_ROOT / "Makefile").read_text()
+        assert "verify.sh --strict" in makefile
+
+    def test_ci_slow_runs_full_tier(self):
+        commands = _run_commands(_load("ci-slow.yml"))
+        assert any("verify-slow" in c for c in commands)
+
+    def test_editable_install_is_backed_by_setup_py(self):
+        """`pip install -e .` needs real packaging metadata."""
+        commands = _run_commands(_load("ci.yml"))
+        assert any("pip install -e ." in c for c in commands)
+        setup_text = (REPO_ROOT / "setup.py").read_text()
+        assert "console_scripts" in setup_text
+        assert "repro = repro.cli:main" in setup_text
+        assert "python_requires" in setup_text
+
+
+class TestMakefileAndScripts:
+    def test_ci_alias_target(self):
+        assert "ci" in _make_targets()
+
+    def test_verify_wires_bench_check(self):
+        makefile = (REPO_ROOT / "Makefile").read_text()
+        assert "bench-check" in makefile
+        assert re.search(r"^verify: .*bench-check", makefile, re.MULTILINE)
+
+    def test_verify_sh_accepts_strict(self):
+        text = (REPO_ROOT / "scripts" / "verify.sh").read_text()
+        assert "--strict" in text
+        assert "check_bench.py" in text
+
+
+class TestReadmeAdvertisesCI:
+    def test_badge_points_at_workflow(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "workflows/ci.yml/badge.svg" in readme
+
+    def test_ci_section_documents_the_split(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "Continuous integration" in readme

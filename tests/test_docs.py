@@ -87,8 +87,16 @@ class TestDocsLinks:
 
     def test_required_docs_exist(self):
         for path in ("README.md", "docs/architecture.md",
-                     "docs/fastpath.md"):
+                     "docs/fastpath.md", "docs/sharding.md"):
             assert (REPO_ROOT / path).is_file(), f"{path} missing"
+
+    def test_no_orphan_docs_pages(self):
+        """Strict mode's warning class stays clean in-tree."""
+        spec = importlib.util.spec_from_file_location(
+            "check_docs", REPO_ROOT / "scripts" / "check_docs.py")
+        check_docs = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(check_docs)
+        assert check_docs.find_warnings(check_docs.doc_files()) == []
 
 
 class TestDocstrings:
@@ -122,9 +130,12 @@ class TestDocstrings:
     def test_serve_modules_documented(self):
         import repro.serve
         import repro.serve.index
+        import repro.serve.router
         import repro.serve.service
+        import repro.serve.shard
         import repro.serve.snapshot
 
-        for module in (repro.serve, repro.serve.index, repro.serve.service,
+        for module in (repro.serve, repro.serve.index, repro.serve.router,
+                       repro.serve.service, repro.serve.shard,
                        repro.serve.snapshot):
             assert module.__doc__ and len(module.__doc__) > 80

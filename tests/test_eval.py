@@ -28,6 +28,33 @@ class TestRankItems:
         expected = np.argsort(-scores, axis=1)[:, :10]
         np.testing.assert_array_equal(top, expected)
 
+    def test_ties_broken_by_smaller_index(self):
+        """Canonical order: equal scores rank by ascending item id."""
+        scores = np.array([[1.0, 2.0, 1.0, 2.0]])
+        np.testing.assert_array_equal(rank_items(scores, 4), [[1, 3, 0, 2]])
+
+    def test_boundary_ties_take_smallest_ids(self):
+        """Ties straddling the top-k cut keep the smallest indices."""
+        scores = np.array([[1.0, 1.0, 1.0, 0.0]])
+        np.testing.assert_array_equal(rank_items(scores, 2), [[0, 1]])
+        scores = np.array([[0.0, 1.0, 1.0, 1.0]])
+        np.testing.assert_array_equal(rank_items(scores, 2), [[1, 2]])
+        # mixed: one strictly-greater item, boundary tie below it
+        scores = np.array([[5.0, 2.0, 2.0, 2.0, 1.0]])
+        np.testing.assert_array_equal(rank_items(scores, 3), [[0, 1, 2]])
+
+    def test_neg_inf_ties_are_canonical(self):
+        """Masked (-inf) items fill trailing slots by ascending id."""
+        scores = np.array([[0.5, -np.inf, -np.inf, -np.inf]])
+        np.testing.assert_array_equal(rank_items(scores, 3), [[0, 1, 2]])
+
+    def test_canonical_under_row_permutation(self, rng):
+        """The ranking is a pure function of (score, id) pairs."""
+        scores = rng.integers(0, 4, size=(7, 40)).astype(np.float64)
+        top = rank_items(scores, 10)
+        again = rank_items(scores.copy(order="F"), 10)
+        np.testing.assert_array_equal(top, again)
+
 
 class TestMetricValues:
     def test_recall(self):

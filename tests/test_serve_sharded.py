@@ -1,0 +1,406 @@
+"""Sharded serving: partition/round-trip semantics and bitwise parity.
+
+The acceptance contract of the scatter-gather router: for every shard
+count × partition axis × placement scheme, the sharded exact path
+returns **bit-identical** items *and* scores to the unsharded
+:class:`~repro.serve.index.ExactTopKIndex` — on the paper-shaped
+``yelp2018-small`` preset, not just a toy.  The quantized per-shard
+path is pinned the same way against the unsharded quantized index
+(per-row quantization and the fixed-shape panel kernels make it exact
+too).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.losses import get_loss
+from repro.models import get_model
+from repro.serve import (ExactTopKIndex, QuantizedTopKIndex,
+                         RecommendationService, ShardedRecommendationService,
+                         ShardedTopKIndex, ShardManifest, ShardedManifest,
+                         export_sharded_snapshot, export_snapshot,
+                         is_sharded_snapshot, load_sharded_snapshot,
+                         partition_ids)
+from repro.train import TrainConfig, train_model
+
+SHARD_COUNTS = (1, 2, 3, 7)
+PARTITION_AXES = ("user", "item", "both")
+STRATEGIES = ("contiguous", "hash")
+
+
+@pytest.fixture(scope="module")
+def tiny_cell(tiny_dataset, tmp_path_factory):
+    """(model, dataset, unsharded snapshot) briefly trained on 'tiny'."""
+    model = get_model("mf", tiny_dataset, dim=8, rng=0)
+    config = TrainConfig(epochs=2, batch_size=64, n_negatives=8,
+                         eval_every=0, patience=0, seed=0)
+    train_model(model, get_loss("bsl"), tiny_dataset, config)
+    out = tmp_path_factory.mktemp("tiny-flat")
+    snapshot = export_snapshot(model, tiny_dataset, out, model_name="mf")
+    return model, tiny_dataset, snapshot
+
+
+@pytest.fixture(scope="module")
+def yelp_cell(tmp_path_factory):
+    """(model, dataset, unsharded snapshot) trained on yelp2018-small."""
+    dataset = load_dataset("yelp2018-small")
+    model = get_model("mf", dataset, dim=64, rng=0)
+    config = TrainConfig(epochs=3, batch_size=1024, n_negatives=64,
+                         eval_every=0, patience=0, seed=0)
+    train_model(model, get_loss("bsl"), dataset, config)
+    out = tmp_path_factory.mktemp("yelp-flat")
+    snapshot = export_snapshot(model, dataset, out, model_name="mf")
+    return model, dataset, snapshot
+
+
+class TestPartitionIds:
+    def test_contiguous_covers_in_order(self):
+        parts = partition_ids(10, 3, "contiguous")
+        assert [p.tolist() for p in parts] == [[0, 1, 2, 3], [4, 5, 6],
+                                              [7, 8, 9]]
+
+    def test_hash_is_residue_classes(self):
+        parts = partition_ids(10, 3, "hash")
+        assert [p.tolist() for p in parts] == [[0, 3, 6, 9], [1, 4, 7],
+                                              [2, 5, 8]]
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_partition_invariants(self, num_shards, strategy):
+        """Every shard ascending + non-empty; union == arange exactly."""
+        parts = partition_ids(53, num_shards, strategy)
+        assert len(parts) == num_shards
+        for part in parts:
+            assert len(part) > 0
+            assert np.all(np.diff(part) > 0)
+        merged = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(merged, np.arange(53))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            partition_ids(10, 0)
+        with pytest.raises(ValueError, match="non-empty"):
+            partition_ids(3, 5)
+        with pytest.raises(ValueError, match="strategy"):
+            partition_ids(10, 2, "range")
+
+
+class TestExportLoadRoundTrip:
+    def test_layout_and_manifests(self, tiny_cell, tmp_path):
+        model, dataset, _ = tiny_cell
+        sharded = export_sharded_snapshot(model, dataset, tmp_path,
+                                          shards=3, partition_by="both",
+                                          strategy="hash", model_name="mf")
+        assert is_sharded_snapshot(tmp_path)
+        assert (tmp_path / "shards.json").is_file()
+        manifest = sharded.manifest
+        assert isinstance(manifest, ShardedManifest)
+        assert manifest.num_user_shards == manifest.num_item_shards == 3
+        assert manifest.strategy == "hash"
+        assert len(manifest.version) == 16
+        for entry in manifest.user_shards + manifest.item_shards:
+            shard_dir = tmp_path / entry["path"]
+            assert shard_dir.is_dir()
+            child = ShardManifest.from_json(
+                (shard_dir / "manifest.json").read_text())
+            assert child.version == entry["version"]
+            assert child.count == entry["count"]
+
+    def test_partition_by_user_keeps_one_item_shard(self, tiny_cell,
+                                                    tmp_path):
+        model, dataset, _ = tiny_cell
+        sharded = export_sharded_snapshot(model, dataset, tmp_path,
+                                          shards=4, partition_by="user")
+        assert sharded.manifest.num_user_shards == 4
+        assert sharded.manifest.num_item_shards == 1
+
+    def test_load_verify_detects_tamper(self, tiny_cell, tmp_path):
+        model, dataset, _ = tiny_cell
+        export_sharded_snapshot(model, dataset, tmp_path, shards=2)
+        load_sharded_snapshot(tmp_path, verify=True)  # pristine passes
+        target = tmp_path / "item-shard-01" / "item_embeddings.npy"
+        table = np.load(target)
+        table[0, 0] += 1.0
+        np.save(target, table)
+        with pytest.raises(ValueError, match="content hash mismatch"):
+            load_sharded_snapshot(tmp_path, verify=True)
+
+    def test_top_level_version_pins_children(self, tiny_cell, tmp_path):
+        """Editing shards.json itself is caught by the top-level hash."""
+        model, dataset, _ = tiny_cell
+        export_sharded_snapshot(model, dataset, tmp_path, shards=2)
+        manifest_path = tmp_path / "shards.json"
+        payload = json.loads(manifest_path.read_text())
+        payload["version"] = "0" * 16
+        manifest_path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="does not match"):
+            load_sharded_snapshot(tmp_path, verify=True)
+
+    def test_unknown_manifest_fields_rejected(self, tiny_cell, tmp_path):
+        model, dataset, _ = tiny_cell
+        export_sharded_snapshot(model, dataset, tmp_path, shards=2)
+        manifest_path = tmp_path / "shards.json"
+        payload = json.loads(manifest_path.read_text())
+        payload["replicas"] = 2
+        manifest_path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="unknown fields"):
+            load_sharded_snapshot(tmp_path)
+
+    def test_load_rejects_unsharded_dir(self, tiny_cell):
+        _, _, snapshot = tiny_cell
+        with pytest.raises(FileNotFoundError, match="shards.json"):
+            load_sharded_snapshot(snapshot.path)
+
+    def test_export_rejects_bad_partition_by(self, tiny_cell, tmp_path):
+        model, dataset, _ = tiny_cell
+        with pytest.raises(ValueError, match="partition_by"):
+            export_sharded_snapshot(model, dataset, tmp_path, shards=2,
+                                    partition_by="rows")
+
+    def test_unsharded_reexport_removes_sharded_layout(self, tiny_cell,
+                                                       tmp_path):
+        """Overwriting a sharded dir with a flat export must not leave a
+        stale shards.json that `recommend` would route to."""
+        model, dataset, _ = tiny_cell
+        export_sharded_snapshot(model, dataset, tmp_path, shards=3)
+        assert is_sharded_snapshot(tmp_path)
+        export_snapshot(model, dataset, tmp_path)
+        assert not is_sharded_snapshot(tmp_path)
+        assert not list(tmp_path.glob("*-shard-*"))
+        from repro.serve import load_snapshot
+        load_snapshot(tmp_path, verify=True)
+
+    def test_sharded_reexport_removes_flat_layout(self, tiny_cell,
+                                                  tmp_path):
+        model, dataset, _ = tiny_cell
+        export_snapshot(model, dataset, tmp_path)
+        export_sharded_snapshot(model, dataset, tmp_path, shards=2)
+        assert is_sharded_snapshot(tmp_path)
+        assert not (tmp_path / "manifest.json").exists()
+        assert not (tmp_path / "user_embeddings.npy").exists()
+        load_sharded_snapshot(tmp_path, verify=True)
+
+    def test_shrinking_shard_count_leaves_no_orphans(self, tiny_cell,
+                                                     tmp_path):
+        model, dataset, _ = tiny_cell
+        export_sharded_snapshot(model, dataset, tmp_path, shards=5)
+        export_sharded_snapshot(model, dataset, tmp_path, shards=2)
+        assert sorted(p.name for p in tmp_path.glob("*-shard-*")) == [
+            "item-shard-00", "item-shard-01",
+            "user-shard-00", "user-shard-01"]
+        load_sharded_snapshot(tmp_path, verify=True)
+
+    def test_routing_tables(self, tiny_cell, tmp_path):
+        model, dataset, _ = tiny_cell
+        sharded = export_sharded_snapshot(model, dataset, tmp_path,
+                                          shards=3, strategy="hash")
+        users = np.arange(dataset.num_users, dtype=np.int64)
+        owner, local = sharded.route_users(users)
+        assert np.array_equal(owner, users % 3)
+        for u in (0, 1, 5, dataset.num_users - 1):
+            shard = sharded.user_shards[owner[u]]
+            assert shard.ids[local[u]] == u
+        # gathered rows match the unsharded table bit for bit
+        rows = sharded.gather_user_rows(users)
+        flat_users = np.load(tiny_cell[2].path / "user_embeddings.npy")
+        np.testing.assert_array_equal(rows, flat_users)
+
+    def test_gather_seen_matches_dataset(self, tiny_cell, tmp_path):
+        model, dataset, _ = tiny_cell
+        sharded = export_sharded_snapshot(model, dataset, tmp_path,
+                                          shards=2, strategy="hash")
+        users = np.array([3, 0, 7], dtype=np.int64)
+        indptr, seen = sharded.gather_seen(users)
+        for row, u in enumerate(users):
+            expected = np.asarray(dataset.train_items_by_user[u],
+                                  dtype=np.int64)
+            np.testing.assert_array_equal(seen[indptr[row]:indptr[row + 1]],
+                                          expected)
+
+
+class TestShardedParityTiny:
+    """Exhaustive bitwise parity on 'tiny': all combos, seen on and off."""
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("partition_by", PARTITION_AXES)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_exact_bitwise(self, tiny_cell, tmp_path, shards, partition_by,
+                           strategy):
+        model, dataset, snapshot = tiny_cell
+        sharded = export_sharded_snapshot(
+            model, dataset, tmp_path, shards=shards,
+            partition_by=partition_by, strategy=strategy)
+        users = np.arange(dataset.num_users, dtype=np.int64)
+        reference = ExactTopKIndex(snapshot)
+        router = ShardedTopKIndex(sharded)
+        for filter_seen in (True, False):
+            want = reference.topk(users, k=10, filter_seen=filter_seen)
+            got = router.topk(users, k=10, filter_seen=filter_seen)
+            np.testing.assert_array_equal(got.items, want.items)
+            np.testing.assert_array_equal(got.scores, want.scores)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_quantized_bitwise(self, tiny_cell, tmp_path, strategy):
+        model, dataset, snapshot = tiny_cell
+        sharded = export_sharded_snapshot(model, dataset, tmp_path,
+                                          shards=3, strategy=strategy)
+        users = np.arange(dataset.num_users, dtype=np.int64)
+        want = QuantizedTopKIndex(snapshot).topk(users, k=10)
+        got = ShardedTopKIndex(sharded, kind="quantized").topk(users, k=10)
+        np.testing.assert_array_equal(got.items, want.items)
+        np.testing.assert_array_equal(got.scores, want.scores)
+
+    @pytest.mark.parametrize("model_name", ["lightgcn", "simplex", "cml"])
+    def test_exact_bitwise_across_scorings(self, tiny_dataset, tmp_path,
+                                           model_name):
+        """inner / cosine / euclidean scoring all survive sharding."""
+        model = get_model(model_name, tiny_dataset, dim=8, rng=0)
+        snapshot = export_snapshot(model, tiny_dataset, tmp_path / "flat")
+        sharded = export_sharded_snapshot(model, tiny_dataset,
+                                          tmp_path / "sharded", shards=3,
+                                          strategy="hash")
+        users = np.arange(tiny_dataset.num_users, dtype=np.int64)
+        want = ExactTopKIndex(snapshot).topk(users, k=10)
+        got = ShardedTopKIndex(sharded).topk(users, k=10)
+        np.testing.assert_array_equal(got.items, want.items)
+        np.testing.assert_array_equal(got.scores, want.scores)
+
+    def test_k_exceeding_shard_size(self, tiny_cell, tmp_path):
+        """k larger than any single shard still merges the full ranking."""
+        model, dataset, snapshot = tiny_cell
+        sharded = export_sharded_snapshot(model, dataset, tmp_path, shards=7)
+        users = np.arange(8, dtype=np.int64)
+        k = dataset.num_items  # every shard holds far fewer items
+        want = ExactTopKIndex(snapshot).topk(users, k=k, filter_seen=False)
+        got = ShardedTopKIndex(sharded).topk(users, k=k, filter_seen=False)
+        np.testing.assert_array_equal(got.items, want.items)
+        np.testing.assert_array_equal(got.scores, want.scores)
+
+
+class TestShardedParityYelp:
+    """Acceptance: bit-identical rankings on yelp2018-small, every
+    ``--shards`` ∈ {1, 2, 3, 7} × ``--partition-by`` combination."""
+
+    @pytest.mark.parametrize("partition_by", PARTITION_AXES)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_exact_bitwise(self, yelp_cell, tmp_path, shards, partition_by):
+        model, dataset, snapshot = yelp_cell
+        sharded = export_sharded_snapshot(model, dataset, tmp_path,
+                                          shards=shards,
+                                          partition_by=partition_by)
+        users = np.arange(dataset.num_users, dtype=np.int64)
+        want = ExactTopKIndex(snapshot).topk(users, k=10)
+        got = ShardedTopKIndex(sharded).topk(users, k=10)
+        np.testing.assert_array_equal(got.items, want.items)
+        np.testing.assert_array_equal(got.scores, want.scores)
+
+    def test_hash_strategy_bitwise(self, yelp_cell, tmp_path):
+        model, dataset, snapshot = yelp_cell
+        sharded = export_sharded_snapshot(model, dataset, tmp_path,
+                                          shards=3, strategy="hash")
+        users = np.arange(dataset.num_users, dtype=np.int64)
+        want = ExactTopKIndex(snapshot).topk(users, k=10)
+        got = ShardedTopKIndex(sharded).topk(users, k=10)
+        np.testing.assert_array_equal(got.items, want.items)
+        np.testing.assert_array_equal(got.scores, want.scores)
+
+
+class TestShardedService:
+    def test_matches_unsharded_service(self, tiny_cell, tmp_path):
+        model, dataset, snapshot = tiny_cell
+        sharded = export_sharded_snapshot(model, dataset, tmp_path, shards=3)
+        service = ShardedRecommendationService(sharded)
+        flat = RecommendationService(snapshot)
+        users = np.arange(dataset.num_users, dtype=np.int64)
+        for mine, theirs in zip(service.recommend(users, k=10),
+                                flat.recommend(users, k=10)):
+            assert mine.user_id == theirs.user_id
+            np.testing.assert_array_equal(mine.items, theirs.items)
+            np.testing.assert_array_equal(mine.scores, theirs.scores)
+
+    def test_cache_keyed_on_sharded_version(self, tiny_cell, tmp_path):
+        model, dataset, _ = tiny_cell
+        sharded = export_sharded_snapshot(model, dataset, tmp_path, shards=2)
+        service = ShardedRecommendationService(sharded)
+        first = service.recommend_one(3, k=5)
+        again = service.recommend_one(3, k=5)
+        assert not first.from_cache and again.from_cache
+        assert again.snapshot_version == sharded.version
+        np.testing.assert_array_equal(first.items, again.items)
+
+    def test_micro_batching_inherited(self, tiny_cell, tmp_path):
+        model, dataset, _ = tiny_cell
+        sharded = export_sharded_snapshot(model, dataset, tmp_path, shards=2)
+        service = ShardedRecommendationService(sharded, max_batch=64)
+        handles = [service.submit(u, k=5) for u in range(6)]
+        assert service.pending == 6
+        results = [h.result() for h in handles]
+        assert service.pending == 0
+        assert [r.user_id for r in results] == list(range(6))
+
+    def test_router_stats_accumulate(self, tiny_cell, tmp_path):
+        model, dataset, _ = tiny_cell
+        sharded = export_sharded_snapshot(model, dataset, tmp_path, shards=3)
+        service = ShardedRecommendationService(sharded, cache_size=0)
+        service.recommend(np.arange(20), k=5)
+        stats = service.router_stats
+        assert stats.sweeps >= 1 and stats.users_routed >= 20
+        assert stats.score_s > 0 and stats.merge_s > 0
+        assert 0.0 <= stats.merge_fraction < 1.0
+        stats.reset()
+        assert stats.sweeps == 0 and stats.merge_s == 0.0
+
+    def test_input_validation(self, tiny_cell, tmp_path):
+        model, dataset, _ = tiny_cell
+        sharded = export_sharded_snapshot(model, dataset, tmp_path, shards=2)
+        router = ShardedTopKIndex(sharded)
+        with pytest.raises(ValueError, match="k must be positive"):
+            router.topk([0], k=0)
+        with pytest.raises(ValueError, match="user ids"):
+            router.topk([dataset.num_users], k=5)
+        with pytest.raises(ValueError, match="chunk_users"):
+            ShardedTopKIndex(sharded, chunk_users=0)
+        with pytest.raises(KeyError, match="unknown shard index kind"):
+            ShardedTopKIndex(sharded, kind="faiss")
+
+    def test_kind_tags(self, tiny_cell, tmp_path):
+        model, dataset, _ = tiny_cell
+        sharded = export_sharded_snapshot(model, dataset, tmp_path, shards=2)
+        assert ShardedTopKIndex(sharded).kind == "sharded-exact"
+        assert ShardedTopKIndex(sharded,
+                                kind="quantized").kind == "sharded-quantized"
+        assert all(b > 0 for b in
+                   ShardedTopKIndex(sharded).per_shard_table_bytes)
+
+
+class TestShardedCLI:
+    def test_export_and_recommend_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+        out = tmp_path / "sharded-snap"
+        rc = main(["export", "--dataset", "tiny", "--model", "mf",
+                   "--loss", "sl", "--epochs", "1", "--dim", "8",
+                   "--shards", "3", "--partition-by", "both",
+                   "--partition", "hash", "--out", str(out)])
+        assert rc == 0
+        assert is_sharded_snapshot(out)
+        assert "sharded snapshot" in capsys.readouterr().out
+        rc = main(["recommend", "--snapshot", str(out), "--users", "0,1,2",
+                   "--k", "5", "--verify"])
+        assert rc == 0
+        shown = capsys.readouterr().out
+        assert "sharded-exact" in shown
+
+    def test_recommend_quantized_on_sharded(self, tmp_path, capsys):
+        from repro.cli import main
+        out = tmp_path / "sharded-snap"
+        main(["export", "--dataset", "tiny", "--model", "mf", "--loss",
+              "sl", "--epochs", "1", "--dim", "8", "--shards", "2",
+              "--out", str(out)])
+        capsys.readouterr()
+        rc = main(["recommend", "--snapshot", str(out), "--users", "0",
+                   "--index", "quantized"])
+        assert rc == 0
+        assert "sharded-quantized" in capsys.readouterr().out
