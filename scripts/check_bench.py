@@ -1,15 +1,18 @@
 #!/usr/bin/env python
 """Bench-schema validator: the checked-in benchmark JSONs must not rot.
 
-Validates ``BENCH_fastpath.json`` and ``BENCH_serve.json`` against the
-schemas their generators declare (``bsl-fastpath-bench/v1``,
-``bsl-serve-bench/v2``):
+Validates ``BENCH_fastpath.json``, ``BENCH_serve.json`` and
+``BENCH_ann.json`` against the schemas their generators declare
+(``bsl-fastpath-bench/v1``, ``bsl-serve-bench/v2``,
+``bsl-ann-bench/v1``):
 
 * the top level must carry ``schema`` / ``created_unix`` / ``dataset`` /
   ``config`` / ``results`` and the schema string must match exactly;
 * every required result section (``train_step`` + ``eval`` for the
-  fast-path file; ``serve`` + ``serve_sharded`` for the serve file)
-  must be present and its rows must carry the per-kind required fields;
+  fast-path file; ``serve`` + ``serve_sharded`` for the serve file;
+  ``ann`` + ``ann_baseline`` for the ANN frontier, where every ``ann``
+  row must carry the nlist/nprobe/recall/users_per_s columns) must be
+  present and its rows must carry the per-kind required fields;
 * every number anywhere in the payload must be finite — a NaN or
   infinity in a throughput column means a broken timing run was
   committed.
@@ -32,6 +35,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 EXPECTED = {
     "BENCH_fastpath.json": ("bsl-fastpath-bench/v1", {"train_step", "eval"}),
     "BENCH_serve.json": ("bsl-serve-bench/v2", {"serve", "serve_sharded"}),
+    "BENCH_ann.json": ("bsl-ann-bench/v1", {"ann", "ann_baseline"}),
 }
 
 #: result kind -> fields every row of that kind must carry
@@ -47,6 +51,9 @@ REQUIRED_FIELDS = {
                       "per_shard_bytes"},
     "overlap": {"index", "k", "overlap_at_k", "table_bytes",
                 "exact_table_bytes"},
+    "ann": {"index", "nlist", "nprobe", "recall", "users_per_s", "k",
+            "batch_size", "candidates_mean", "speedup_vs_exact"},
+    "ann_baseline": {"index", "users_per_s", "k", "batch_size"},
 }
 
 _TOP_LEVEL = ("schema", "created_unix", "dataset", "config", "results")

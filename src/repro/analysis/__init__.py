@@ -1,10 +1,10 @@
 """Analysis tools: t-SNE projection and embedding separation scores."""
 
 from repro.analysis.tsne import tsne
-from repro.analysis.kmeans import kmeans
+from repro.analysis.kmeans import kmeans, sq_dists
 from repro.analysis.separation import (silhouette_score,
                                        cluster_separation_ratio,
                                        alignment_uniformity)
 
-__all__ = ["tsne", "kmeans", "silhouette_score",
+__all__ = ["tsne", "kmeans", "sq_dists", "silhouette_score",
            "cluster_separation_ratio", "alignment_uniformity"]

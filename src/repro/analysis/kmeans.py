@@ -10,7 +10,7 @@ import numpy as np
 
 from repro.tensor.random import ensure_rng
 
-__all__ = ["kmeans"]
+__all__ = ["kmeans", "sq_dists"]
 
 
 def kmeans(x: np.ndarray, n_clusters: int, n_iter: int = 20,
@@ -61,7 +61,17 @@ def _plus_plus_init(x: np.ndarray, k: int, rng) -> np.ndarray:
     return np.asarray(centroids)
 
 
-def _sq_dists(x: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+def sq_dists(x: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Pairwise squared euclidean distances, ``(len(x), len(centroids))``.
+
+    Uses the expanded form with a clamp at zero (cancellation can push
+    tiny distances negative).  Shared by k-means and the ANN tier's
+    list assignment / PQ encoding, so the numerics live in one place.
+    """
     x_sq = (x ** 2).sum(axis=1, keepdims=True)
     c_sq = (centroids ** 2).sum(axis=1)
     return np.maximum(x_sq + c_sq - 2.0 * x @ centroids.T, 0.0)
+
+
+#: module-internal alias kept for the call sites above
+_sq_dists = sq_dists

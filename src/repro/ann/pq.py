@@ -1,0 +1,267 @@
+"""Product quantization of IVF residuals, with asymmetric distance tables.
+
+The IVF-PQ variant compresses each inverted-list posting to a few bytes:
+the item's **residual** against its list's centroid is cut into ``m``
+subvectors, and each subvector is replaced by the index of its nearest
+codeword in a per-subspace codebook (trained with the repo's own
+k-means).  At search time a user's **asymmetric distance (ADC) tables**
+— the inner products between the user's subvectors and every codeword —
+turn scoring a posting into ``m`` table lookups plus the centroid term:
+
+    score_adc(u, i in list c)  =  u·centroid_c  +  Σ_s  LUT[s, code[i, s]]
+
+ADC scores select a per-user **shortlist**; the shortlist is then
+re-scored *exactly* through the same fixed-shape panel GEMMs as
+:class:`~repro.ann.ivf.IVFFlatIndex` (Faiss's ``IndexRefineFlat``
+pattern), so the returned scores remain directly comparable to the
+exact index.  The PQ approximation therefore only affects *which*
+candidates survive to the final ranking — measurable as recall in the
+ANN benchmark — never the score values themselves.
+
+At this repo's numpy-only scale the ADC pass is a fidelity model, not a
+speedup (BLAS GEMMs outrun table gathers in numpy); what PQ buys here
+is the candidate tier's memory story: ``m`` uint8 codes per posting
+versus ``dim`` float64 values per item row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.kmeans import kmeans, sq_dists
+from repro.ann.ivf import ANN_PANEL_WIDTH, IVFFlatIndex, IVFIndexData
+from repro.eval.metrics import rank_items
+from repro.serve.index import panel_scores, scoring_ready_users
+from repro.serve.snapshot import EmbeddingSnapshot
+
+__all__ = ["ProductQuantizer", "train_product_quantizer",
+           "encode_residuals", "adc_lookup_tables", "IVFPQIndex"]
+
+
+class ProductQuantizer:
+    """Per-subspace codebooks plus the codes of every IVF posting.
+
+    Parameters
+    ----------
+    codebooks:
+        ``(m, ks, dsub)`` float64 — ``ks`` codewords per subspace.
+    codes:
+        ``(num_postings, m)`` uint8 — one code row per entry of the
+        owning index's ``list_items`` (spilled items carry one code per
+        list they appear in, each against that list's centroid).
+    """
+
+    def __init__(self, codebooks: np.ndarray, codes: np.ndarray):
+        codebooks = np.asarray(codebooks, dtype=np.float64)
+        codes = np.asarray(codes, dtype=np.uint8)
+        if codebooks.ndim != 3:
+            raise ValueError("codebooks must be (m, ks, dsub)")
+        if codes.ndim != 2 or codes.shape[1] != codebooks.shape[0]:
+            raise ValueError("codes must be (num_postings, m)")
+        if codes.size and codes.max() >= codebooks.shape[1]:
+            raise ValueError("codes reference codewords beyond ks")
+        self.codebooks = codebooks
+        self.codes = codes
+
+    @property
+    def m(self) -> int:
+        """Number of subquantizers."""
+        return self.codebooks.shape[0]
+
+    @property
+    def ks(self) -> int:
+        """Codewords per subspace."""
+        return self.codebooks.shape[1]
+
+    @property
+    def dsub(self) -> int:
+        """Dimensions per subvector."""
+        return self.codebooks.shape[2]
+
+    @property
+    def code_bytes(self) -> int:
+        """Bytes held by the posting codes (the compressed catalogue)."""
+        return self.codes.nbytes
+
+    @property
+    def table_bytes(self) -> int:
+        """Bytes held by codes plus codebooks."""
+        return self.codes.nbytes + self.codebooks.nbytes
+
+    def decode(self, rows: np.ndarray) -> np.ndarray:
+        """Reconstruct residual vectors for posting ``rows``."""
+        rows = np.asarray(rows, dtype=np.int64)
+        parts = [self.codebooks[s, self.codes[rows, s]]
+                 for s in range(self.m)]
+        return np.concatenate(parts, axis=-1)
+
+
+def train_product_quantizer(residuals: np.ndarray, m: int = 8,
+                            ks: int = 32, seed: int = 0,
+                            n_iter: int = 25) -> np.ndarray:
+    """Train per-subspace codebooks on the posting residuals.
+
+    Each of the ``m`` subspaces gets its own k-means over the matching
+    residual slice; the rng is derived from ``seed`` and the subspace
+    index, so builds are deterministic.  Returns ``(m, ks, dsub)``
+    codebooks.
+    """
+    residuals = np.asarray(residuals, dtype=np.float64)
+    n, dim = residuals.shape
+    if m <= 0 or dim % m != 0:
+        raise ValueError(f"m={m} must divide dim={dim}")
+    ks = min(ks, n)
+    if ks <= 0:
+        raise ValueError("need at least one posting to train on")
+    dsub = dim // m
+    codebooks = np.empty((m, ks, dsub), dtype=np.float64)
+    for s in range(m):
+        sub = residuals[:, s * dsub:(s + 1) * dsub]
+        codebooks[s], _ = kmeans(sub, ks, n_iter=n_iter,
+                                 rng=np.random.default_rng((seed, s)))
+    return codebooks
+
+
+def encode_residuals(residuals: np.ndarray,
+                     codebooks: np.ndarray) -> np.ndarray:
+    """Nearest-codeword codes for every residual row, ``(n, m)`` uint8."""
+    n = len(residuals)
+    m, ks, dsub = codebooks.shape
+    codes = np.empty((n, m), dtype=np.uint8)
+    for s in range(m):
+        sub = residuals[:, s * dsub:(s + 1) * dsub]
+        codes[:, s] = sq_dists(sub, codebooks[s]).argmin(axis=1)
+    return codes
+
+
+def adc_lookup_tables(vectors: np.ndarray,
+                      codebooks: np.ndarray) -> np.ndarray:
+    """Inner products of user subvectors with every codeword.
+
+    Returns ``(len(vectors), m, ks)`` — the asymmetric distance tables:
+    ``LUT[u, s, code]`` is the contribution of subspace ``s`` to the
+    ADC score when a posting stores ``code`` there.
+    """
+    m, ks, dsub = codebooks.shape
+    out = np.empty((len(vectors), m, ks), dtype=np.float64)
+    for s in range(m):
+        out[:, s] = vectors[:, s * dsub:(s + 1) * dsub] @ codebooks[s].T
+    return out
+
+
+class IVFPQIndex(IVFFlatIndex):
+    """IVF-PQ with exact refinement of the ADC shortlist.
+
+    Candidate generation is inherited from :class:`IVFFlatIndex`
+    (probed lists, over-fetch, signature grouping).  On top, the ADC
+    scores of each user's candidates pick a shortlist of
+    ``max(refine * k, k + |seen|)`` postings; everything outside the
+    shortlist is masked before the exact-scored block is ranked.  The
+    shortlist floor mirrors the over-fetch contract: ``filter_seen``
+    masking can never starve the top-``k``.
+
+    Parameters
+    ----------
+    pq:
+        Trained :class:`ProductQuantizer` aligned with ``data``'s
+        postings.
+    refine:
+        Shortlist size as a multiple of ``k`` (Faiss's ``k_factor``).
+    """
+
+    kind = "ivfpq"
+
+    def __init__(self, snapshot: EmbeddingSnapshot, data: IVFIndexData,
+                 pq: ProductQuantizer, nprobe: int | None = None,
+                 refine: int = 4, chunk_users: int = 1024,
+                 panel_width: int = ANN_PANEL_WIDTH, routed: bool = True):
+        super().__init__(snapshot, data, nprobe=nprobe,
+                         chunk_users=chunk_users, panel_width=panel_width,
+                         routed=routed)
+        if snapshot.scoring == "euclidean":
+            raise ValueError(
+                "IVF-PQ asymmetric distance tables are inner-product "
+                "formulated; euclidean-scoring snapshots are only "
+                "supported by the IVF-Flat index")
+        if len(pq.codes) != len(data.list_items):
+            raise ValueError(
+                f"PQ holds {len(pq.codes)} codes but the index has "
+                f"{len(data.list_items)} postings")
+        if refine < 1:
+            raise ValueError(f"refine must be >= 1, got {refine}")
+        self.pq = pq
+        self.refine = refine
+        #: owning list of every posting (the centroid term of ADC)
+        self._owner = np.repeat(
+            np.arange(data.nlist, dtype=np.int64), data.sizes)
+
+    @property
+    def table_bytes(self) -> int:
+        """Quantizer + lists + panels + PQ codes and codebooks."""
+        return super().table_bytes + self.pq.table_bytes
+
+    # ------------------------------------------------------------------
+    def _chunk_topk(self, users: np.ndarray, k: int, filter_seen: bool
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """IVF-Flat block assembly plus ADC shortlist masking."""
+        vectors = scoring_ready_users(self.snapshot.users[users],
+                                      self.snapshot.scoring)
+        if self.routed:
+            table = self._routing_for(k, filter_seen)
+            groups, rows_by_group, seen = table.slice(users)
+        else:
+            plan = self.data.plan(vectors, self._seen_counts[users], k,
+                                  self.nprobe, filter_seen,
+                                  self.snapshot.scoring)
+            groups = plan.signatures
+            rows_by_group = plan.rows_by_group()
+            seen = (self._dynamic_seen(users, plan) if filter_seen
+                    else (np.empty(0, np.int64), np.empty(0, np.int64)))
+        centroid_scores = vectors @ self.data.centroids.T
+        luts = adc_lookup_tables(vectors, self.pq.codebooks)
+
+        live = [(g, rows) for g, rows in enumerate(rows_by_group)
+                if len(rows)]
+        c_max = max((len(self.data.signature(groups[g])[0])
+                     for g, _ in live), default=0)
+        m_users = len(users)
+        block = np.empty((m_users, c_max), dtype=np.float64)
+        ids_block = np.empty((m_users, c_max), dtype=np.int64)
+        for g, rows in live:
+            ids, panels = self.data.panels_for(groups[g], self._items_ready,
+                                               self.panel_width)
+            posting = self.data.signature(groups[g])[1]
+            exact = panel_scores(vectors[rows], panels, len(ids))
+            # ADC: centroid term of the owning list + codeword lookups
+            adc = centroid_scores[rows][:, self._owner[posting]]
+            codes = self.pq.codes[posting]
+            group_luts = luts[rows]
+            for s in range(self.pq.m):
+                adc += group_luts[:, s, codes[:, s]]
+            shortlist = min(len(ids),
+                            int(max(self.refine * k,
+                                    k + (self._seen_counts[users[rows]].max()
+                                         if filter_seen else 0))))
+            if shortlist < len(ids):
+                keep = np.argpartition(-adc, shortlist - 1,
+                                       axis=1)[:, :shortlist]
+                pruned = np.full_like(exact, -np.inf)
+                np.put_along_axis(
+                    pruned, keep, np.take_along_axis(exact, keep, axis=1),
+                    axis=1)
+                exact = pruned
+            block[rows, :len(ids)] = exact
+            block[rows, len(ids):] = -np.inf
+            ids_block[rows, :len(ids)] = ids
+            ids_block[rows, len(ids):] = self.data.num_items
+        if filter_seen:
+            seen_rows, seen_cols = seen
+            block[seen_rows, seen_cols] = -np.inf
+        top = rank_items(block, k)
+        return (np.take_along_axis(ids_block, top, axis=1),
+                np.take_along_axis(block, top, axis=1))
+
+    def __repr__(self) -> str:
+        return (f"IVFPQIndex(nlist={self.data.nlist}, nprobe={self.nprobe}, "
+                f"m={self.pq.m}, ks={self.pq.ks}, refine={self.refine}, "
+                f"snapshot={self.snapshot.version!r})")

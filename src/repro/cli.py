@@ -10,12 +10,18 @@ Subcommands:
 * ``export`` — train (or load a checkpoint) and freeze the model into a
   serving snapshot directory (:mod:`repro.serve`); ``--shards N``
   writes a horizontally partitioned snapshot instead.
+* ``build-ann`` — train an approximate-retrieval IVF index
+  (:mod:`repro.ann`) from an exported snapshot into an index
+  directory with a content-hashed manifest.
 * ``recommend`` — answer top-K requests from an exported snapshot
   (sharded directories are detected and scatter-gather-routed
-  automatically).
+  automatically; ``--ann DIR`` serves through an IVF candidate
+  index built by ``build-ann``).
 * ``perf-serve`` — time snapshot serving throughput, unsharded and
   across shard counts, and write ``BENCH_serve.json`` (the serving
-  perf trajectory).
+  perf trajectory); ``--ann`` also sweeps the IVF recall/throughput
+  frontier into ``BENCH_ann.json`` (``--ann-only`` skips the serve
+  grid).
 """
 
 from __future__ import annotations
@@ -156,25 +162,79 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _cmd_build_ann(args) -> int:
+    """Train an IVF(-PQ) candidate index from an exported snapshot.
+
+    Reads the snapshot, clusters the item table with the repo's
+    k-means, writes the inverted lists (and PQ codes for
+    ``--kind ivfpq``) plus a content-hashed ``manifest.json`` into
+    ``--out``.  Builds are deterministic: the same snapshot, parameters
+    and ``--seed`` produce a byte-identical directory.
+    """
+    from repro.ann import build_ann_index
+    from repro.serve import load_snapshot
+
+    snapshot = load_snapshot(args.snapshot, verify=args.verify)
+    index = build_ann_index(
+        snapshot, args.out, kind=args.kind, nlist=args.nlist,
+        spill=args.spill, default_nprobe=args.nprobe, seed=args.seed,
+        train_iters=args.train_iters, pq_m=args.pq_m, pq_ks=args.pq_ks)
+    data = index.data
+    rows = [["kind", index.kind], ["nlist", data.nlist],
+            ["spill", data.max_spill], ["nprobe", data.default_nprobe],
+            ["postings", len(data.list_items)],
+            ["items", data.num_items],
+            ["index KiB", f"{index.table_bytes / 1024:.0f}"],
+            ["snapshot", snapshot.version]]
+    print_table(f"ANN index {args.out}", ["field", "value"], rows,
+                precision=0)
+    return 0
+
+
 def _cmd_recommend(args) -> int:
     """Serve top-K recommendations for a list of users from a snapshot.
 
     Sharded snapshot directories (written by ``repro export --shards``)
     are detected automatically and served through the scatter-gather
-    :class:`~repro.serve.router.ShardedRecommendationService`.
+    :class:`~repro.serve.router.ShardedRecommendationService`.  With
+    ``--ann DIR`` candidates come from an IVF index built by
+    ``repro build-ann`` — over-fetched per user and re-scored exactly,
+    so scores remain comparable to the exact index.
     """
     from repro.serve import (RecommendationService,
-                             ShardedRecommendationService, build_index,
-                             is_sharded_snapshot, load_sharded_snapshot,
-                             load_snapshot)
+                             ShardedRecommendationService, ShardedTopKIndex,
+                             build_index, is_sharded_snapshot,
+                             load_sharded_snapshot, load_snapshot)
 
     if is_sharded_snapshot(args.snapshot):
         snapshot = load_sharded_snapshot(args.snapshot, verify=args.verify)
-        service = ShardedRecommendationService(snapshot, kind=args.index)
+        if args.ann:
+            from repro.ann import load_ann_generator
+            router = ShardedTopKIndex(
+                snapshot, kind=args.index,
+                ann=load_ann_generator(args.ann, snapshot=snapshot,
+                                       verify=args.verify))
+            service = ShardedRecommendationService(snapshot, index=router)
+        else:
+            service = ShardedRecommendationService(snapshot, kind=args.index)
         index = service.index
     else:
         snapshot = load_snapshot(args.snapshot, verify=args.verify)
-        index = build_index(snapshot, args.index)
+        if args.ann:
+            if args.index != "exact":
+                # On a sharded snapshot --index picks the per-shard
+                # scorer under the ANN prefilter; unsharded ANN serving
+                # replaces the index outright, so an explicit non-exact
+                # choice would be silently ignored — refuse instead.
+                raise SystemExit(
+                    "recommend: --ann replaces the index on an unsharded "
+                    "snapshot; drop --index or use a sharded snapshot to "
+                    "combine an ANN prefilter with per-shard "
+                    f"{args.index!r} scoring")
+            from repro.ann import load_ann_index
+            index = load_ann_index(args.ann, snapshot, verify=args.verify)
+        else:
+            index = build_index(snapshot, args.index)
         service = RecommendationService(snapshot, index=index)
     users = [int(u) for u in args.users.split(",")]
     rows = []
@@ -191,22 +251,41 @@ def _cmd_recommend(args) -> int:
 
 
 def _cmd_perf_serve(args) -> int:
-    """Run the serving perf suite and write ``BENCH_serve.json``."""
-    from repro.experiments.perf import (ServePerfConfig, run_serve_suite,
-                                        summarize_serve, write_report)
-    shards = tuple(int(s) for s in args.shards.split(",")) if args.shards \
-        else ()
-    config = ServePerfConfig(
-        dataset=args.dataset, model=args.model, loss=args.loss,
-        epochs=args.epochs, dim=args.dim, k=args.k,
-        batch_sizes=tuple(int(b) for b in args.batch_sizes.split(",")),
-        repeats=args.repeats, request_users=args.request_users,
-        shards=shards, partition_by=args.partition_by,
-        include_quantized=not args.no_quantized, seed=args.seed)
-    payload = run_serve_suite(config)
-    write_report(payload, args.out)
-    print(summarize_serve(payload))
-    print(f"wrote {args.out}")
+    """Run the serving perf suite and write ``BENCH_serve.json``.
+
+    With ``--ann`` the IVF recall/throughput frontier is also swept and
+    written to ``--ann-out`` (``BENCH_ann.json``); ``--ann-only`` skips
+    the serve grid and runs just the frontier (what ``make bench-ann``
+    does).
+    """
+    from repro.experiments.perf import (AnnPerfConfig, ServePerfConfig,
+                                        run_ann_suite, run_serve_suite,
+                                        summarize_ann, summarize_serve,
+                                        write_report)
+    if not args.ann_only:
+        shards = tuple(int(s) for s in args.shards.split(",")) \
+            if args.shards else ()
+        config = ServePerfConfig(
+            dataset=args.dataset, model=args.model, loss=args.loss,
+            epochs=args.epochs, dim=args.dim, k=args.k,
+            batch_sizes=tuple(int(b) for b in args.batch_sizes.split(",")),
+            repeats=args.repeats, request_users=args.request_users,
+            shards=shards, partition_by=args.partition_by,
+            include_quantized=not args.no_quantized, seed=args.seed)
+        payload = run_serve_suite(config)
+        write_report(payload, args.out)
+        print(summarize_serve(payload))
+        print(f"wrote {args.out}")
+    if args.ann or args.ann_only:
+        ann_config = AnnPerfConfig(
+            dataset=args.dataset, k=args.k,
+            nlists=tuple(int(n) for n in args.ann_nlists.split(",")),
+            nprobes=tuple(int(p) for p in args.ann_nprobes.split(",")),
+            loss=args.ann_loss, epochs=args.ann_epochs, seed=args.seed)
+        ann_payload = run_ann_suite(ann_config)
+        write_report(ann_payload, args.ann_out)
+        print(summarize_ann(ann_payload))
+        print(f"wrote {args.ann_out}")
     return 0
 
 
@@ -288,6 +367,33 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("contiguous", "hash"),
                         help="id placement scheme (with --shards)")
 
+    build_ann = sub.add_parser(
+        "build-ann",
+        help="train an IVF candidate index from an exported snapshot")
+    build_ann.add_argument("--snapshot", required=True,
+                           help="snapshot directory written by `repro export`")
+    build_ann.add_argument("--out", required=True,
+                           help="ANN index output directory")
+    build_ann.add_argument("--kind", default="ivf",
+                           choices=("ivf", "ivfpq"))
+    build_ann.add_argument("--nlist", type=int, default=16,
+                           help="number of inverted lists (k-means clusters)")
+    build_ann.add_argument("--spill", type=int, default=1,
+                           help="lists each item is stored in (1 = plain IVF)")
+    build_ann.add_argument("--nprobe", type=int, default=2,
+                           help="default lists probed per request")
+    build_ann.add_argument("--train-iters", type=int, default=25,
+                           help="k-means iterations for quantizer training")
+    build_ann.add_argument("--seed", type=int, default=0,
+                           help="training seed; same snapshot + params + "
+                                "seed gives a byte-identical index")
+    build_ann.add_argument("--pq-m", type=int, default=8,
+                           help="PQ subquantizers (with --kind ivfpq)")
+    build_ann.add_argument("--pq-ks", type=int, default=32,
+                           help="PQ codewords per subspace (with ivfpq)")
+    build_ann.add_argument("--verify", action="store_true",
+                           help="check the snapshot content hash first")
+
     recommend = sub.add_parser(
         "recommend", help="top-K recommendations from an exported snapshot")
     recommend.add_argument("--snapshot", required=True,
@@ -297,6 +403,9 @@ def build_parser() -> argparse.ArgumentParser:
     recommend.add_argument("--k", type=int, default=DEFAULT_TOP_K)
     recommend.add_argument("--index", default="exact",
                            choices=("exact", "quantized"))
+    recommend.add_argument("--ann", default=None,
+                           help="serve through an IVF candidate index "
+                                "directory built by `repro build-ann`")
     recommend.add_argument("--no-filter-seen", action="store_true",
                            help="keep already-interacted items in the lists")
     recommend.add_argument("--verify", action="store_true",
@@ -327,6 +436,21 @@ def build_parser() -> argparse.ArgumentParser:
                             help="skip the int8 index rows")
     perf_serve.add_argument("--seed", type=int, default=0)
     perf_serve.add_argument("--out", default="BENCH_serve.json")
+    perf_serve.add_argument("--ann", action="store_true",
+                            help="also sweep the IVF recall/throughput "
+                                 "frontier into --ann-out")
+    perf_serve.add_argument("--ann-only", action="store_true",
+                            help="run only the ANN frontier (implies --ann)")
+    perf_serve.add_argument("--ann-out", default="BENCH_ann.json")
+    perf_serve.add_argument("--ann-nlists", default="8,16,32",
+                            help="comma-separated IVF list counts")
+    perf_serve.add_argument("--ann-nprobes", default="1,2,4",
+                            help="comma-separated probe counts")
+    perf_serve.add_argument("--ann-loss", default="bpr", choices=loss_names(),
+                            help="loss of the ANN suite's trained cell "
+                                 "(pairwise losses cluster best; see "
+                                 "docs/ann.md)")
+    perf_serve.add_argument("--ann-epochs", type=int, default=15)
     return parser
 
 
@@ -335,8 +459,8 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"datasets": _cmd_datasets, "train": _cmd_train,
                 "sweep-tau": _cmd_sweep_tau, "perf": _cmd_perf,
-                "export": _cmd_export, "recommend": _cmd_recommend,
-                "perf-serve": _cmd_perf_serve}
+                "export": _cmd_export, "build-ann": _cmd_build_ann,
+                "recommend": _cmd_recommend, "perf-serve": _cmd_perf_serve}
     return handlers[args.command](args)
 
 

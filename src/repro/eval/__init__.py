@@ -2,7 +2,7 @@
 
 from repro.eval.metrics import (recall_at_k, ndcg_at_k, precision_at_k,
                                 hit_rate_at_k, average_precision_at_k,
-                                rank_items)
+                                rank_items, overlap_at_k)
 from repro.eval.evaluator import (Evaluator, EvalResult, evaluate_model,
                                   evaluate_scores)
 from repro.eval.groups import group_ndcg, fairness_gap
@@ -10,7 +10,8 @@ from repro.eval.masking import mask_seen_items, seen_items_csr
 
 __all__ = [
     "recall_at_k", "ndcg_at_k", "precision_at_k", "hit_rate_at_k",
-    "average_precision_at_k", "rank_items", "Evaluator", "EvalResult",
+    "average_precision_at_k", "rank_items", "overlap_at_k",
+    "Evaluator", "EvalResult",
     "evaluate_model", "evaluate_scores", "group_ndcg", "fairness_gap",
     "mask_seen_items", "seen_items_csr",
 ]

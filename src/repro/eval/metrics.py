@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["recall_at_k", "ndcg_at_k", "precision_at_k", "hit_rate_at_k",
-           "average_precision_at_k", "rank_items"]
+           "average_precision_at_k", "rank_items", "overlap_at_k"]
 
 
 def rank_items(scores: np.ndarray, k: int) -> np.ndarray:
@@ -54,6 +54,27 @@ def rank_items(scores: np.ndarray, k: int) -> np.ndarray:
         tied = np.flatnonzero(flat_scores[row] == flat_kth[row, 0])[:kept]
         flat_top[row, k - kept:] = tied
     return top
+
+
+def overlap_at_k(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean per-row overlap between two ``(m, k)`` top-K item lists.
+
+    ``overlap_at_k(exact, approx)`` with the exact index's lists as
+    ``a`` is recall@k of an approximate retrieval path against the
+    exact ranking — the acceptance metric shared by the quantized
+    index, the sharded router and the ANN tier (see ``docs/ann.md``).
+    Row order within the lists does not matter; the denominator is
+    ``a``'s row length.
+    """
+    a = np.atleast_2d(np.asarray(a))
+    b = np.atleast_2d(np.asarray(b))
+    if len(a) != len(b):
+        raise ValueError(f"lists disagree on row count: {len(a)} vs {len(b)}")
+    if a.shape[1] == 0:
+        raise ValueError("reference lists must have at least one column")
+    per_row = [len(set(ra.tolist()) & set(rb.tolist())) / a.shape[1]
+               for ra, rb in zip(a, b)]
+    return float(np.mean(per_row)) if per_row else 0.0
 
 
 def _hit_matrix(top_items: np.ndarray, relevant: set[int]) -> np.ndarray:

@@ -15,7 +15,14 @@ PRs:
   top-K overlap with the exact path, plus a **sharded section**
   sweeping shard counts × batch sizes through the scatter-gather
   router with merge-overhead and per-shard-memory columns →
-  ``BENCH_serve.json``.
+  ``BENCH_serve.json``;
+* the **ANN suite** trains a retrieval-oriented cell, builds IVF
+  indexes (:mod:`repro.ann`) across ``nlist`` values and sweeps
+  ``nprobe``, recording the recall/throughput frontier against the
+  exact index — recall@k via :func:`repro.eval.metrics.overlap_at_k`,
+  throughput as **index-level** ``topk`` users/s over the same request
+  stream for both sides (no service cache in either lane) →
+  ``BENCH_ann.json``.
 
 Programmatic entry points:
 
@@ -26,9 +33,12 @@ Programmatic entry points:
 * :func:`time_recommend_sharded` — same, through the sharded router,
   with scatter/score/merge decomposition.
 * :func:`run_serve_suite` — the serving grid; returns the JSON payload.
+* :func:`time_index_topk` — index-level users/s for any top-K index.
+* :func:`run_ann_suite` — the ANN frontier; returns the JSON payload.
 
 CLI: ``python -m repro.cli perf`` / ``python -m repro.cli perf-serve``
-(or ``python benchmarks/perf.py`` / ``python benchmarks/serve_perf.py``).
+(``--ann`` adds the ANN frontier; ``make bench-ann``) — or
+``python benchmarks/perf.py`` / ``python benchmarks/serve_perf.py``.
 """
 
 from __future__ import annotations
@@ -43,17 +53,19 @@ import numpy as np
 
 from repro.data.synthetic import load_dataset
 from repro.eval.evaluator import Evaluator
+from repro.eval.metrics import overlap_at_k
 from repro.losses.registry import get_loss
 from repro.models.registry import get_model
 from repro.tensor.tensor import bump_data_version
 from repro.train.config import TrainConfig
 from repro.train.trainer import Trainer
 
-__all__ = ["SCHEMA", "SERVE_SCHEMA", "PerfConfig", "ServePerfConfig",
+__all__ = ["SCHEMA", "SERVE_SCHEMA", "ANN_SCHEMA", "PerfConfig",
+           "ServePerfConfig", "AnnPerfConfig",
            "time_train_steps", "time_eval", "run_perf_suite",
            "time_recommend", "time_recommend_sharded", "topk_overlap",
-           "run_serve_suite", "write_report", "summarize",
-           "summarize_serve"]
+           "run_serve_suite", "time_index_topk", "run_ann_suite",
+           "write_report", "summarize", "summarize_serve", "summarize_ann"]
 
 #: Bump the suffix when the payload layout changes incompatibly.
 SCHEMA = "bsl-fastpath-bench/v1"
@@ -61,6 +73,9 @@ SCHEMA = "bsl-fastpath-bench/v1"
 #: Schema of the serving-throughput payload (``BENCH_serve.json``).
 #: v2 added the sharded scatter-gather section (``serve_sharded`` rows).
 SERVE_SCHEMA = "bsl-serve-bench/v2"
+
+#: Schema of the ANN recall/throughput frontier (``BENCH_ann.json``).
+ANN_SCHEMA = "bsl-ann-bench/v1"
 
 
 @dataclass
@@ -362,13 +377,12 @@ def topk_overlap(exact_index, other_index, users: np.ndarray,
     """Mean fraction of the exact top-``k`` recovered by another index.
 
     This is the serving analogue of recall@k with the exact index as
-    ground truth — the acceptance metric for the quantized path.
+    ground truth — the acceptance metric for the quantized and ANN
+    paths.  Thin wrapper over the shared
+    :func:`repro.eval.metrics.overlap_at_k`.
     """
-    exact = exact_index.topk(users, k=k).items
-    other = other_index.topk(users, k=k).items
-    per_user = [len(set(a.tolist()) & set(b.tolist())) / exact.shape[1]
-                for a, b in zip(exact, other)]
-    return float(np.mean(per_user))
+    return overlap_at_k(exact_index.topk(users, k=k).items,
+                        other_index.topk(users, k=k).items)
 
 
 def run_serve_suite(config: ServePerfConfig | None = None) -> dict:
@@ -488,6 +502,241 @@ def run_serve_suite(config: ServePerfConfig | None = None) -> dict:
         },
         "results": results,
     }
+
+
+# ----------------------------------------------------------------------
+# ANN recall/throughput frontier (BENCH_ann.json)
+# ----------------------------------------------------------------------
+@dataclass
+class AnnPerfConfig:
+    """Knobs for one ANN frontier run.
+
+    One (dataset, model, loss) cell is trained and exported, IVF
+    indexes are built per ``nlist`` (through the real on-disk
+    :func:`repro.ann.build.build_ann_index` path), and every
+    (nlist, nprobe) point is measured for recall@k against the exact
+    index and index-level ``topk`` throughput over a shared request
+    stream.
+
+    The default cell is ``mf`` + ``bpr``: candidate towers are trained
+    with pairwise objectives in practice, and the paper's contrastive
+    losses (SL/BSL) push item embeddings toward uniformity on the
+    sphere, which deliberately *destroys* the cluster structure IVF
+    exploits — the frontier of a BSL snapshot is measurably worse (see
+    ``docs/ann.md``).  Override ``loss`` to quantify that.
+    """
+
+    dataset: str = "yelp2018-small"
+    model: str = "mf"
+    loss: str = "bpr"
+    epochs: int = 15
+    dim: int = 64
+    n_negatives: int = 16
+    k: int = 10
+    nlists: tuple = (8, 16, 32)
+    nprobes: tuple = (1, 2, 4)
+    spill: int = 1
+    train_iters: int = 25
+    #: request batch per ``topk`` call (both lanes time the same stream)
+    batch_size: int = 1024
+    request_users: int = 4096
+    repeats: int = 5
+    include_pq: bool = True
+    pq_m: int = 8
+    pq_ks: int = 32
+    pq_refine: int = 4
+    seed: int = 0
+    extra_info: dict = field(default_factory=dict)
+
+
+def time_index_topk(index, users: np.ndarray, *, batch_size: int,
+                    k: int = 10, repeats: int = 5) -> dict:
+    """Index-level ``topk`` throughput over ``users``.
+
+    One untimed warmup pass (which also builds lazy structures —
+    routing tables, signature panels — exactly like a service warming
+    up), then ``repeats`` timed passes; the reported throughput uses
+    the **fastest pass** (the ``timeit`` convention — slower passes
+    measure scheduler noise, not the index).  Unlike
+    :func:`time_recommend` this bypasses the service layer, so two
+    index kinds can be compared without the shared per-user python
+    overhead of result assembly and caching.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+
+    def one_pass() -> None:
+        for lo in range(0, len(users), batch_size):
+            index.topk(users[lo:lo + batch_size], k=k)
+
+    one_pass()
+    passes = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        one_pass()
+        passes.append(time.perf_counter() - start)
+    best = min(passes)
+    return {
+        "batch_size": batch_size,
+        "k": k,
+        "users": int(len(users)),
+        "repeats": repeats,
+        "total_s": sum(passes),
+        "best_pass_s": best,
+        "users_per_s": len(users) / best if best > 0 else float("inf"),
+        "ms_per_batch": 1e3 * best / (-(-len(users) // batch_size)),
+    }
+
+
+def run_ann_suite(config: AnnPerfConfig | None = None) -> dict:
+    """Train, build IVF indexes and sweep the recall/throughput frontier.
+
+    Returns the ``BENCH_ann.json`` payload: one ``ann_baseline`` row
+    (the exact index timed over the same stream) and one ``ann`` row
+    per (nlist, nprobe) — plus an IVF-PQ point when ``include_pq`` —
+    each carrying ``recall`` (overlap@k against the exact index over
+    every user) and ``users_per_s``.
+    """
+    from repro.ann import IVFFlatIndex, build_ann_index
+    from repro.serve import ExactTopKIndex, export_snapshot, load_snapshot
+    config = config or AnnPerfConfig()
+    dataset = load_dataset(config.dataset)
+    model = get_model(config.model, dataset, dim=config.dim, rng=config.seed)
+    loss = get_loss(config.loss)
+    train_config = TrainConfig(epochs=config.epochs,
+                               n_negatives=config.n_negatives,
+                               eval_every=0, patience=0, seed=config.seed)
+    Trainer(model, loss, dataset, train_config, evaluator=None).fit()
+
+    rng = np.random.default_rng(config.seed)
+    cycles = -(-config.request_users // dataset.num_users)
+    users = np.concatenate([rng.permutation(dataset.num_users)
+                            for _ in range(cycles)])[
+        :config.request_users].astype(np.int64)
+    all_users = np.arange(dataset.num_users, dtype=np.int64)
+    results = []
+    with tempfile.TemporaryDirectory() as tmp:
+        export_snapshot(model, dataset, pathlib.Path(tmp) / "snapshot",
+                        model_name=config.model,
+                        extra={"loss": config.loss, "epochs": config.epochs})
+        snapshot = load_snapshot(pathlib.Path(tmp) / "snapshot")
+        exact = ExactTopKIndex(snapshot)
+        exact_truth = exact.topk(all_users, k=config.k).items
+        baseline = time_index_topk(exact, users, batch_size=config.batch_size,
+                                   k=config.k, repeats=config.repeats)
+        baseline.update({"kind": "ann_baseline", "index": "exact",
+                         "table_bytes": int(exact.table_bytes)})
+        results.append(baseline)
+        for nlist in config.nlists:
+            built = build_ann_index(
+                snapshot, pathlib.Path(tmp) / f"ann-{nlist:03d}",
+                kind="ivf", nlist=nlist, spill=config.spill,
+                default_nprobe=min(min(config.nprobes), nlist),
+                seed=config.seed, train_iters=config.train_iters)
+            for nprobe in config.nprobes:
+                if nprobe > nlist:
+                    continue
+                index = IVFFlatIndex(snapshot, built.data, nprobe=nprobe)
+                results.append(_ann_row(index, exact_truth, all_users, users,
+                                        baseline, config,
+                                        nlist=nlist, nprobe=nprobe))
+        if config.include_pq:
+            nlist = config.nlists[len(config.nlists) // 2]
+            nprobe = min(nlist, sorted(config.nprobes)[len(
+                config.nprobes) // 2])
+            pq_index = build_ann_index(
+                snapshot, pathlib.Path(tmp) / "ann-pq", kind="ivfpq",
+                nlist=nlist, spill=config.spill, default_nprobe=nprobe,
+                seed=config.seed, train_iters=config.train_iters,
+                pq_m=config.pq_m, pq_ks=config.pq_ks)
+            pq_index.refine = config.pq_refine
+            results.append(_ann_row(pq_index, exact_truth, all_users, users,
+                                    baseline, config,
+                                    nlist=nlist, nprobe=nprobe))
+        snapshot_version = snapshot.version
+    return {
+        "schema": ANN_SCHEMA,
+        "created_unix": time.time(),
+        "dataset": config.dataset,
+        "snapshot_version": snapshot_version,
+        "config": {
+            "model": config.model,
+            "loss": config.loss,
+            "epochs": config.epochs,
+            "dim": config.dim,
+            "n_negatives": config.n_negatives,
+            "k": config.k,
+            "nlists": list(config.nlists),
+            "nprobes": list(config.nprobes),
+            "spill": config.spill,
+            "train_iters": config.train_iters,
+            "batch_size": config.batch_size,
+            "request_users": config.request_users,
+            "repeats": config.repeats,
+            "include_pq": config.include_pq,
+            "pq_m": config.pq_m,
+            "pq_ks": config.pq_ks,
+            "pq_refine": config.pq_refine,
+            "seed": config.seed,
+            **config.extra_info,
+        },
+        "results": results,
+    }
+
+
+def _ann_row(index, exact_truth: np.ndarray, all_users: np.ndarray,
+             users: np.ndarray, baseline: dict, config: AnnPerfConfig,
+             *, nlist: int, nprobe: int) -> dict:
+    """Measure one ANN operating point: recall plus throughput."""
+    from repro.serve.index import scoring_ready_users
+    recall = overlap_at_k(exact_truth,
+                          index.topk(all_users, k=config.k).items)
+    # candidate sizes from the probe plan alone — no need to
+    # materialize every user's candidate array
+    vectors = scoring_ready_users(
+        np.asarray(index.snapshot.users), index.snapshot.scoring)
+    seen_counts = np.diff(index.snapshot.seen_indptr)
+    plan = index.data.plan(vectors, seen_counts, config.k, nprobe, True,
+                           index.snapshot.scoring)
+    lengths = np.array([len(index.data.signature(sig)[0])
+                        for sig in plan.signatures], dtype=np.int64)
+    row = time_index_topk(index, users, batch_size=config.batch_size,
+                          k=config.k, repeats=config.repeats)
+    row.update({
+        "kind": "ann",
+        "index": index.kind,
+        "nlist": int(nlist),
+        "nprobe": int(nprobe),
+        "spill": int(config.spill),
+        "recall": float(recall),
+        "candidates_mean": float(lengths[plan.group_of_row].mean()),
+        "speedup_vs_exact": row["users_per_s"] / baseline["users_per_s"],
+        "index_bytes": int(index.table_bytes),
+    })
+    return row
+
+
+def summarize_ann(payload: dict) -> str:
+    """Human-readable frontier table for one ANN payload."""
+    lines = [f"ann suite on {payload['dataset']} "
+             f"(schema {payload['schema']}, "
+             f"snapshot {payload['snapshot_version']})"]
+    baseline = next((r for r in payload["results"]
+                     if r["kind"] == "ann_baseline"), None)
+    if baseline:
+        lines.append(f"  exact baseline: {baseline['users_per_s']:,.0f} "
+                     f"users/s @ batch {baseline['batch_size']}")
+    for row in payload["results"]:
+        if row["kind"] == "ann":
+            lines.append(
+                f"  {row['index']:<5} nlist={row['nlist']:<3} "
+                f"nprobe={row['nprobe']:<3} recall@{row['k']}="
+                f"{row['recall']:.4f}  {row['users_per_s']:,.0f} users/s "
+                f"({row['speedup_vs_exact']:.2f}x exact, "
+                f"{row['candidates_mean']:.0f} cands/user)")
+    return "\n".join(lines)
 
 
 def summarize_serve(payload: dict) -> str:

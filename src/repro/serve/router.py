@@ -88,13 +88,26 @@ class ShardedTopKIndex:
         unsharded index being compared against must use the same value
         (both default to 256), because the BLAS panel kernel's bit
         pattern is pinned per (chunk, panel) shape.
+    ann:
+        Optional ANN candidate generator — an
+        :class:`~repro.ann.ivf.IVFIndexData` (or an
+        :class:`~repro.ann.ivf.IVFFlatIndex`, whose ``data`` is used).
+        When set, every chunk first generates per-user candidates
+        (over-fetched so ``filter_seen`` cannot starve the top-``k``)
+        and each item shard re-scores only the candidates it owns,
+        still through its exact fixed-panel kernels.  With
+        ``nprobe == nlist`` the candidate set covers the catalogue and
+        the routed results are bit-identical to the plain sharded path.
+    ann_nprobe:
+        Probe count for the generator (default: its own default).
     **index_kwargs:
         Extra arguments for the per-shard scorers (e.g. ``panel_width``
         for exact, ``chunk_items`` for quantized).
     """
 
     def __init__(self, snapshot: ShardedSnapshot, kind: str = "exact",
-                 chunk_users: int = 256, **index_kwargs):
+                 chunk_users: int = 256, ann=None,
+                 ann_nprobe: int | None = None, **index_kwargs):
         if chunk_users <= 0:
             raise ValueError(f"chunk_users must be positive, got {chunk_users}")
         self.snapshot = snapshot
@@ -104,10 +117,20 @@ class ShardedTopKIndex:
             for shard in snapshot.item_shards]
         self.stats = RouterStats()
         self._kind = kind
+        self.ann = getattr(ann, "data", ann)
+        self.ann_nprobe = ann_nprobe
+        if self.ann is not None:
+            num_items = snapshot.manifest.num_items
+            if self.ann.num_items != num_items:
+                raise ValueError(
+                    f"ANN index covers {self.ann.num_items} items but the "
+                    f"sharded snapshot has {num_items}")
 
     @property
     def kind(self) -> str:
         """Tag recorded in benchmarks and service cache keys."""
+        if self.ann is not None:
+            return f"sharded-{self._kind}-ann"
         return f"sharded-{self._kind}"
 
     @property
@@ -158,8 +181,17 @@ class ShardedTopKIndex:
             seen_indptr, seen_global = self.snapshot.gather_seen(chunk)
         else:
             seen_indptr, seen_global = None, None
+        if self.ann is not None:
+            seen_counts = (np.diff(seen_indptr) if filter_seen
+                           else np.zeros(len(chunk), dtype=np.int64))
+            cand_indptr, cand_global = self.ann.candidates_csr(
+                vectors, seen_counts, k, self.ann_nprobe, filter_seen,
+                self.snapshot.scoring)
+        else:
+            cand_indptr, cand_global = None, None
         t1 = time.perf_counter()
-        partials = [index.partial_topk(vectors, k, seen_indptr, seen_global)
+        partials = [index.partial_topk(vectors, k, seen_indptr, seen_global,
+                                       cand_indptr, cand_global)
                     for index in self.shard_indexes]
         t2 = time.perf_counter()
         items, scores = _merge_partials(partials, k)

@@ -134,7 +134,13 @@ class RecommendationService:
     index:
         Pre-built :class:`~repro.serve.index.TopKIndex`; defaults to an
         :class:`~repro.serve.index.ExactTopKIndex` over ``snapshot``.
-        Must wrap the same snapshot (checked by content version).
+        Must wrap the same snapshot (checked by content version).  Any
+        object speaking the ``topk``/``kind``/``snapshot`` protocol
+        plugs in — including the approximate
+        :class:`~repro.ann.ivf.IVFFlatIndex` /
+        :class:`~repro.ann.pq.IVFPQIndex` candidate indexes, whose
+        distinct ``kind`` keeps their cache entries separate from the
+        exact index's.
     cache_size:
         LRU capacity in finished per-user lists; 0 disables caching.
     max_batch:

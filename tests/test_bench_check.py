@@ -37,6 +37,23 @@ def _minimal_serve_payload():
     }
 
 
+def _minimal_ann_payload():
+    return {
+        "schema": "bsl-ann-bench/v1",
+        "created_unix": 1.0,
+        "dataset": "tiny",
+        "config": {"k": 5},
+        "results": [
+            {"kind": "ann_baseline", "index": "exact", "k": 5,
+             "batch_size": 32, "users_per_s": 100.0},
+            {"kind": "ann", "index": "ivf", "nlist": 4, "nprobe": 2,
+             "recall": 0.97, "users_per_s": 300.0, "k": 5,
+             "batch_size": 32, "candidates_mean": 20.0,
+             "speedup_vs_exact": 3.0},
+        ],
+    }
+
+
 class TestRepoFilesPass:
     def test_committed_bench_files_validate(self, check_bench):
         assert check_bench.main([]) == 0
@@ -46,6 +63,13 @@ class TestRepoFilesPass:
         assert payload["schema"] == "bsl-serve-bench/v2"
         kinds = {row["kind"] for row in payload["results"]}
         assert {"serve", "serve_sharded", "overlap"} <= kinds
+
+    def test_ann_file_expected(self, check_bench):
+        assert "BENCH_ann.json" in check_bench.EXPECTED
+        payload = json.loads((REPO_ROOT / "BENCH_ann.json").read_text())
+        assert payload["schema"] == "bsl-ann-bench/v1"
+        kinds = {row["kind"] for row in payload["results"]}
+        assert {"ann", "ann_baseline"} <= kinds
 
 
 class TestValidatorCatchesRot:
@@ -109,3 +133,38 @@ class TestValidatorCatchesRot:
         path.write_text("{}")
         problems = check_bench.check_file(path)
         assert any("unknown bench file" in p for p in problems)
+
+
+class TestAnnValidation:
+    def test_good_ann_payload_passes(self, check_bench):
+        problems = check_bench.check_payload("BENCH_ann.json",
+                                             _minimal_ann_payload())
+        assert problems == []
+
+    def test_missing_frontier_columns_rejected(self, check_bench):
+        for column in ("nlist", "nprobe", "recall", "users_per_s"):
+            payload = _minimal_ann_payload()
+            del payload["results"][1][column]
+            problems = check_bench.check_payload("BENCH_ann.json", payload)
+            assert any("missing fields" in p and column in p
+                       for p in problems), column
+
+    def test_missing_baseline_section_rejected(self, check_bench):
+        payload = _minimal_ann_payload()
+        payload["results"] = [r for r in payload["results"]
+                              if r["kind"] != "ann_baseline"]
+        problems = check_bench.check_payload("BENCH_ann.json", payload)
+        assert any("ann_baseline" in p and "required section" in p
+                   for p in problems)
+
+    def test_non_finite_recall_rejected(self, check_bench):
+        payload = _minimal_ann_payload()
+        payload["results"][1]["recall"] = float("nan")
+        problems = check_bench.check_payload("BENCH_ann.json", payload)
+        assert any("non-finite" in p for p in problems)
+
+    def test_wrong_schema_rejected(self, check_bench):
+        payload = _minimal_ann_payload()
+        payload["schema"] = "bsl-ann-bench/v0"
+        problems = check_bench.check_payload("BENCH_ann.json", payload)
+        assert any("does not match expected" in p for p in problems)

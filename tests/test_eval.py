@@ -6,7 +6,8 @@ import pytest
 from repro.data import InteractionDataset
 from repro.eval import (recall_at_k, ndcg_at_k, precision_at_k,
                         hit_rate_at_k, average_precision_at_k, rank_items,
-                        Evaluator, evaluate_scores, group_ndcg, fairness_gap)
+                        overlap_at_k, Evaluator, evaluate_scores,
+                        group_ndcg, fairness_gap)
 
 
 class TestRankItems:
@@ -54,6 +55,33 @@ class TestRankItems:
         top = rank_items(scores, 10)
         again = rank_items(scores.copy(order="F"), 10)
         np.testing.assert_array_equal(top, again)
+
+
+class TestOverlapAtK:
+    def test_identical_lists(self):
+        lists = np.array([[1, 2, 3], [4, 5, 6]])
+        assert overlap_at_k(lists, lists) == 1.0
+
+    def test_disjoint_lists(self):
+        a = np.array([[1, 2, 3]])
+        b = np.array([[4, 5, 6]])
+        assert overlap_at_k(a, b) == 0.0
+
+    def test_order_invariant_partial_overlap(self):
+        a = np.array([[1, 2, 3, 4]])
+        b = np.array([[4, 3, 9, 8]])
+        assert overlap_at_k(a, b) == pytest.approx(0.5)
+
+    def test_single_row_promoted(self):
+        assert overlap_at_k(np.array([1, 2]), np.array([2, 1])) == 1.0
+
+    def test_row_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="row count"):
+            overlap_at_k(np.zeros((2, 3)), np.zeros((3, 3)))
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ValueError, match="at least one column"):
+            overlap_at_k(np.zeros((1, 0)), np.zeros((1, 0)))
 
 
 class TestMetricValues:

@@ -102,18 +102,19 @@ class TestExactIndex:
 
 class TestQuantizedIndex:
     def test_high_overlap_on_tiny(self, tiny_mf_snapshot):
-        from repro.experiments.perf import topk_overlap
+        from repro.eval.metrics import overlap_at_k
         _, snapshot = tiny_mf_snapshot
         users = np.arange(snapshot.manifest.num_users, dtype=np.int64)
-        overlap = topk_overlap(ExactTopKIndex(snapshot),
-                               QuantizedTopKIndex(snapshot), users, k=10)
+        overlap = overlap_at_k(
+            ExactTopKIndex(snapshot).topk(users, k=10).items,
+            QuantizedTopKIndex(snapshot).topk(users, k=10).items)
         assert overlap >= 0.95
 
     def test_acceptance_overlap_on_yelp(self, tmp_path):
         """Acceptance: >= 0.95 recall@10 overlap vs exact on yelp2018-small
-        for a trained checkpoint."""
+        for a trained checkpoint (shared ``overlap_at_k`` metric)."""
         from repro.data import load_dataset
-        from repro.experiments.perf import topk_overlap
+        from repro.eval.metrics import overlap_at_k
         from repro.losses import get_loss
         from repro.train import TrainConfig, train_model
 
@@ -124,8 +125,9 @@ class TestQuantizedIndex:
         train_model(model, get_loss("bsl"), dataset, config)
         snapshot = export_snapshot(model, dataset, tmp_path)
         users = np.arange(dataset.num_users, dtype=np.int64)
-        overlap = topk_overlap(ExactTopKIndex(snapshot),
-                               QuantizedTopKIndex(snapshot), users, k=10)
+        overlap = overlap_at_k(
+            ExactTopKIndex(snapshot).topk(users, k=10).items,
+            QuantizedTopKIndex(snapshot).topk(users, k=10).items)
         assert overlap >= 0.95
 
     def test_table_is_int8_and_smaller(self, tiny_mf_snapshot):
