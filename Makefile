@@ -5,6 +5,7 @@
 #   make verify-slow   everything, incl. paper-figure benches
 #   make ci            strict verify, exactly what .github/workflows/ci.yml runs
 #   make bench         regenerate BENCH_fastpath.json + BENCH_serve.json
+#   make bench-train   regenerate the training frontier (BENCH_train.json)
 #   make bench-ann     regenerate the ANN frontier (BENCH_ann.json)
 #   make docs-check    just the README/docs reference checker
 #   make bench-check   just the benchmark JSON schema validator
@@ -12,7 +13,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify verify-slow test ci docs-check bench-check bench bench-ann
+.PHONY: verify verify-slow test ci docs-check bench-check bench bench-train bench-ann
 
 verify: docs-check bench-check
 	$(PYTHON) -m pytest -x -q
@@ -34,6 +35,9 @@ bench-check:
 bench:
 	$(PYTHON) -m repro.cli perf --out BENCH_fastpath.json
 	$(PYTHON) -m repro.cli perf-serve --out BENCH_serve.json
+
+bench-train:
+	$(PYTHON) -m repro.cli perf-train --out BENCH_train.json
 
 bench-ann:
 	$(PYTHON) -m repro.cli perf-serve --ann-only --ann-out BENCH_ann.json

@@ -1,0 +1,26 @@
+"""Runnable training-throughput harness (not collected by pytest).
+
+Thin wrapper over :mod:`repro.experiments.perf` so the benchmark
+directory has a one-command entry point::
+
+    PYTHONPATH=src python benchmarks/train_perf.py [--out BENCH_train.json ...]
+
+Sweeps catalogue size x loss x grad mode, timing the dense
+full-catalogue training step against the row-sparse fast path (sampled
+scoring + SparseAdam), plus an end-to-end NDCG@20 quality comparison,
+and writes ``BENCH_train.json`` (schema ``bsl-train-bench/v1``).
+Equivalent to ``python -m repro.cli perf-train``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+if __name__ == "__main__":
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    src = repo_root / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    from repro.cli import main
+    raise SystemExit(main(["perf-train", *sys.argv[1:]]))

@@ -1,18 +1,21 @@
 #!/usr/bin/env python
 """Bench-schema validator: the checked-in benchmark JSONs must not rot.
 
-Validates ``BENCH_fastpath.json``, ``BENCH_serve.json`` and
-``BENCH_ann.json`` against the schemas their generators declare
-(``bsl-fastpath-bench/v1``, ``bsl-serve-bench/v2``,
-``bsl-ann-bench/v1``):
+Validates ``BENCH_fastpath.json``, ``BENCH_train.json``,
+``BENCH_serve.json`` and ``BENCH_ann.json`` against the schemas their
+generators declare (``bsl-fastpath-bench/v1``, ``bsl-train-bench/v1``,
+``bsl-serve-bench/v2``, ``bsl-ann-bench/v1``):
 
 * the top level must carry ``schema`` / ``created_unix`` / ``dataset`` /
   ``config`` / ``results`` and the schema string must match exactly;
 * every required result section (``train_step`` + ``eval`` for the
-  fast-path file; ``serve`` + ``serve_sharded`` for the serve file;
-  ``ann`` + ``ann_baseline`` for the ANN frontier, where every ``ann``
-  row must carry the nlist/nprobe/recall/users_per_s columns) must be
-  present and its rows must carry the per-kind required fields;
+  fast-path file; ``train_throughput`` + ``train_quality`` for the
+  training frontier, where every throughput row must carry the
+  grad_mode/num_items/ms_per_step columns; ``serve`` +
+  ``serve_sharded`` for the serve file; ``ann`` + ``ann_baseline`` for
+  the ANN frontier, where every ``ann`` row must carry the
+  nlist/nprobe/recall/users_per_s columns) must be present and its rows
+  must carry the per-kind required fields;
 * every number anywhere in the payload must be finite — a NaN or
   infinity in a throughput column means a broken timing run was
   committed.
@@ -34,6 +37,8 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 #: filename -> (expected schema, required result kinds)
 EXPECTED = {
     "BENCH_fastpath.json": ("bsl-fastpath-bench/v1", {"train_step", "eval"}),
+    "BENCH_train.json": ("bsl-train-bench/v1",
+                         {"train_throughput", "train_quality"}),
     "BENCH_serve.json": ("bsl-serve-bench/v2", {"serve", "serve_sharded"}),
     "BENCH_ann.json": ("bsl-ann-bench/v1", {"ann", "ann_baseline"}),
 }
@@ -42,6 +47,11 @@ EXPECTED = {
 REQUIRED_FIELDS = {
     "train_step": {"model", "loss", "fused", "steps", "ms_per_step",
                    "steps_per_s"},
+    "train_throughput": {"model", "loss", "grad_mode", "num_items",
+                         "catalogue_scale", "batch_size", "n_negatives",
+                         "ms_per_step", "steps_per_s"},
+    "train_quality": {"model", "loss", "grad_mode", "sparse_mode",
+                      "epochs", "ndcg_at_20"},
     "eval": {"model", "chunked", "users", "users_per_s"},
     "serve": {"index", "cache", "batch_size", "k", "users_per_s",
               "ms_per_batch", "cache_hit_rate"},

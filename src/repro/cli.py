@@ -7,6 +7,9 @@ Subcommands:
 * ``sweep-tau`` — quick SL temperature sweep on one dataset.
 * ``perf`` — time train-step / eval throughput and write
   ``BENCH_fastpath.json`` (the fast-path perf trajectory).
+* ``perf-train`` — sweep catalogue size × loss × grad mode (dense
+  full-catalogue vs row-sparse training) and write ``BENCH_train.json``
+  (the training-throughput frontier; see ``docs/training.md``).
 * ``export`` — train (or load a checkpoint) and freeze the model into a
   serving snapshot directory (:mod:`repro.serve`); ``--shards N``
   writes a horizontally partitioned snapshot instead.
@@ -106,6 +109,31 @@ def _cmd_perf(args) -> int:
     payload = run_perf_suite(config)
     write_report(payload, args.out)
     print(summarize(payload))
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_perf_train(args) -> int:
+    """Run the training-throughput suite and write ``BENCH_train.json``.
+
+    Sweeps ``--scales`` catalogue inflations of ``--dataset`` and times
+    each (loss, grad mode) cell; unless ``--no-quality`` an end-to-end
+    run per grad mode records final NDCG@20 on the base dataset.
+    """
+    from repro.experiments.perf import (TrainPerfConfig, run_train_suite,
+                                        summarize_train, write_report)
+    config = TrainPerfConfig(
+        dataset=args.dataset, model=args.model,
+        losses=tuple(args.losses.split(",")),
+        catalogue_scales=tuple(int(s) for s in args.scales.split(",")),
+        dim=args.dim, steps=args.steps, warmup=args.warmup,
+        batch_size=args.batch_size, n_negatives=args.negatives,
+        sparse_mode=args.sparse_mode,
+        quality_epochs=0 if args.no_quality else args.quality_epochs,
+        seed=args.seed)
+    payload = run_train_suite(config)
+    write_report(payload, args.out)
+    print(summarize_train(payload))
     print(f"wrote {args.out}")
     return 0
 
@@ -349,6 +377,34 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--seed", type=int, default=0)
     perf.add_argument("--out", default="BENCH_fastpath.json")
 
+    perf_train = sub.add_parser(
+        "perf-train",
+        help="time dense-vs-sparse training throughput, "
+             "write BENCH_train.json")
+    perf_train.add_argument("--dataset", default="yelp2018-small",
+                            choices=dataset_names())
+    perf_train.add_argument("--model", default="mf", choices=model_names())
+    perf_train.add_argument("--losses", default="bpr,bsl",
+                            help="comma-separated loss registry names")
+    perf_train.add_argument("--scales", default="1,8,64",
+                            help="comma-separated catalogue inflation "
+                                 "factors")
+    perf_train.add_argument("--dim", type=int, default=64)
+    perf_train.add_argument("--steps", type=int, default=15,
+                            help="timed optimizer steps per cell")
+    perf_train.add_argument("--warmup", type=int, default=3)
+    perf_train.add_argument("--batch-size", type=int, default=1024)
+    perf_train.add_argument("--negatives", type=int, default=128)
+    perf_train.add_argument("--sparse-mode", default="lazy",
+                            choices=("lazy", "exact"),
+                            help="sparse-optimizer mode for the sparse rows")
+    perf_train.add_argument("--quality-epochs", type=int, default=16,
+                            help="epochs of the end-to-end NDCG comparison")
+    perf_train.add_argument("--no-quality", action="store_true",
+                            help="skip the end-to-end quality rows")
+    perf_train.add_argument("--seed", type=int, default=0)
+    perf_train.add_argument("--out", default="BENCH_train.json")
+
     export = sub.add_parser(
         "export", help="train (or load) a model and export a serving snapshot")
     _add_train_cell_args(export)
@@ -450,7 +506,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="loss of the ANN suite's trained cell "
                                  "(pairwise losses cluster best; see "
                                  "docs/ann.md)")
-    perf_serve.add_argument("--ann-epochs", type=int, default=15)
+    perf_serve.add_argument("--ann-epochs", type=int, default=25)
     return parser
 
 
@@ -459,8 +515,9 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"datasets": _cmd_datasets, "train": _cmd_train,
                 "sweep-tau": _cmd_sweep_tau, "perf": _cmd_perf,
-                "export": _cmd_export, "build-ann": _cmd_build_ann,
-                "recommend": _cmd_recommend, "perf-serve": _cmd_perf_serve}
+                "perf-train": _cmd_perf_train, "export": _cmd_export,
+                "build-ann": _cmd_build_ann, "recommend": _cmd_recommend,
+                "perf-serve": _cmd_perf_serve}
     return handlers[args.command](args)
 
 

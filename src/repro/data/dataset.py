@@ -65,6 +65,7 @@ class InteractionDataset:
         self._train_sets = [set(items.tolist()) for items in self.train_items_by_user]
         self._positive_mask: np.ndarray | None = None
         self._padded_positives: tuple[np.ndarray, np.ndarray] | None = None
+        self._sorted_padded: tuple[np.ndarray, np.ndarray] | None = None
 
     def _group(self, pairs: np.ndarray) -> list[np.ndarray]:
         grouped: list[np.ndarray] = [np.empty(0, dtype=np.int64)
@@ -145,6 +146,28 @@ class InteractionDataset:
                 padded[u, :len(items)] = items
             self._padded_positives = (padded, degrees)
         return self._padded_positives
+
+    def sorted_padded_positives(self) -> tuple[np.ndarray, np.ndarray]:
+        """Like :meth:`padded_positives` but rows ascending, big sentinel.
+
+        ``sorted_padded[u, :degrees[u]]`` are user ``u``'s **distinct**
+        training items in ascending order (degrees here count distinct
+        items, unlike :meth:`padded_positives`); the tail is filled
+        with a sentinel strictly greater than ``num_items + width`` so
+        shifted values (``item - column``) of pad cells can never
+        collide with a real rank.  Cached; enables the sampler's exact
+        one-shot uniform-over-complement redraw.
+        """
+        if self._sorted_padded is None:
+            uniques = [np.unique(items) for items in self.train_items_by_user]
+            degrees = np.array([len(v) for v in uniques], dtype=np.int64)
+            width = max(1, int(degrees.max()) if len(degrees) else 1)
+            sentinel = self.num_items + width + 1
+            out = np.full((self.num_users, width), sentinel, dtype=np.int64)
+            for u, items in enumerate(uniques):
+                out[u, :len(items)] = items
+            self._sorted_padded = (out, degrees)
+        return self._sorted_padded
 
     # ------------------------------------------------------------------
     # Sparse views

@@ -131,19 +131,38 @@ class UniformNegativeSampler(_PairShuffler):
 
     def _resample_collisions(self, users: np.ndarray,
                              negatives: np.ndarray) -> None:
-        """Reject-and-redraw negatives colliding with training positives.
+        """Replace colliding negatives with one exact masked redraw.
 
-        Bulk rejection against the dense positive mask; a handful of
-        rounds drives the collision count to ~0 at realistic densities.
+        Colliding slots are redrawn **once**, uniformly over the user's
+        non-positive items, via the rank mapping: draw
+        ``r ~ U[0, num_items - deg_u)`` and return the ``r``-th
+        non-positive item.  With ascending positives ``p_0 < p_1 < ...``
+        the ``j``-th positive occupies complement-shifted value
+        ``p_j - j``, so the answer is ``r + |{j : p_j - j <= r}|`` —
+        fully vectorized, no rejection rounds, and the output is
+        *exactly* uniform over the complement (the old reject-and-redraw
+        loop only approached that distribution and could leave
+        collisions after its 20 rounds).
+
+        Users whose positives cover the whole catalogue have an empty
+        complement; their slots are left untouched (a collision is
+        unavoidable), matching the old loop's give-up behaviour.
         """
         mask = self.dataset.positive_mask()
-        for _ in range(20):
-            collisions = mask[users[:, None], negatives]
-            n_bad = int(collisions.sum())
-            if n_bad == 0:
-                return
-            negatives[collisions] = self._rng.integers(
-                0, self.dataset.num_items, size=n_bad)
+        collisions = mask[users[:, None], negatives]
+        if not collisions.any():
+            return
+        rows, cols = np.nonzero(collisions)
+        c_users = users[rows]
+        padded, degrees = self.dataset.sorted_padded_positives()
+        deg = degrees[c_users]
+        n_free = self.dataset.num_items - deg
+        ok = n_free > 0
+        r = self._rng.integers(0, np.maximum(n_free, 1))
+        # rank -> item id: count positives at or below the landing spot
+        shifted = padded[c_users] - np.arange(padded.shape[1])[None, :]
+        redrawn = r + (shifted <= r[:, None]).sum(axis=1)
+        negatives[rows[ok], cols[ok]] = redrawn[ok]
 
 
 class PopularityNegativeSampler(UniformNegativeSampler):

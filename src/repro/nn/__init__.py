@@ -4,10 +4,12 @@ from repro.nn.module import Module, Parameter
 from repro.nn.embedding import Embedding
 from repro.nn.linear import Linear
 from repro.nn.dropout import Dropout
-from repro.nn.optim import Optimizer, SGD, Adam
+from repro.nn.optim import (Optimizer, SGD, Adam, SparseOptimizer,
+                            SparseSGD, SparseAdam)
 from repro.nn import init
 
 __all__ = [
     "Module", "Parameter", "Embedding", "Linear", "Dropout",
-    "Optimizer", "SGD", "Adam", "init",
+    "Optimizer", "SGD", "Adam", "SparseOptimizer", "SparseSGD",
+    "SparseAdam", "init",
 ]

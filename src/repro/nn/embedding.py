@@ -29,9 +29,16 @@ class Embedding(Module):
         as the paper unifies initialization with Xavier.
     rng:
         Seed or generator for the initializer.
+    sparse_grad:
+        When True, lookups produce row-sparse gradients
+        (:class:`~repro.tensor.sparse.RowSparseGrad`) touching only the
+        gathered rows — pair with ``SparseAdam``/``SparseSGD``; dense
+        optimizers reject sparse gradients.  Mirrors
+        ``torch.nn.Embedding(sparse=True)``.
     """
 
-    def __init__(self, num_embeddings: int, dim: int, init=None, rng=None):
+    def __init__(self, num_embeddings: int, dim: int, init=None, rng=None,
+                 sparse_grad: bool = False):
         super().__init__()
         if num_embeddings <= 0 or dim <= 0:
             raise ValueError("num_embeddings and dim must be positive, got "
@@ -40,10 +47,12 @@ class Embedding(Module):
         self.weight = Parameter(initializer((num_embeddings, dim), rng=rng))
         self.num_embeddings = num_embeddings
         self.dim = dim
+        self.sparse_grad = bool(sparse_grad)
 
     def forward(self, indices) -> Tensor:
         """Look up rows; ``indices`` may be any integer array shape."""
-        return ops.take_rows(self.weight, np.asarray(indices, dtype=np.int64))
+        return ops.take_rows(self.weight, np.asarray(indices, dtype=np.int64),
+                             sparse_grad=self.sparse_grad)
 
     def all(self) -> Tensor:
         """Return the full table as a tensor participating in the graph."""

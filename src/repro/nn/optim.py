@@ -1,8 +1,43 @@
-"""Optimizers: SGD (with momentum) and Adam.
+"""Optimizers: dense SGD/Adam and their row-sparse counterparts.
 
 The paper trains every model with Adam; SGD is kept for tests and
-ablations.  ``weight_decay`` implements the decoupled L2 penalty the
-paper grid-searches over {1e-9 .. 1e-1}.
+ablations.  ``weight_decay`` implements the L2 penalty the paper
+grid-searches over {1e-9 .. 1e-1}.
+
+Row-sparse training (``docs/training.md``)
+------------------------------------------
+:class:`SparseAdam` and :class:`SparseSGD` consume the
+:class:`~repro.tensor.sparse.RowSparseGrad` gradients produced by
+``take_rows(..., sparse_grad=True)`` and update **only the touched
+rows** of a table, so per-step optimizer cost scales with the batch
+instead of the catalogue.  Both support two modes:
+
+* ``"lazy"`` (the fast default) — exactly the ``torch.optim.SparseAdam``
+  semantics: moments of untouched rows are never decayed and untouched
+  rows never move.  ``weight_decay`` is *lazy regularization*: applied
+  to a row only on the steps that touch it, so heavily-sampled rows are
+  decayed more often (the FTRL-style convention of production
+  recommenders).
+* ``"exact"`` — numerically equivalent to the dense optimizer fed
+  explicit zero gradients for untouched rows.  Each parameter keeps a
+  per-row ``last step`` clock; when a row is touched, the optimizer
+  first *replays* the zero-gradient updates it skipped (moment decay,
+  bias correction with the true historical step numbers, and the
+  ``weight_decay`` pull each skipped step would have applied), then
+  applies the real gradient.  :meth:`SparseOptimizer.flush` replays
+  every row up to the current step — the trainer calls it before
+  evaluation/checkpointing so observed parameters always match the
+  dense trajectory.
+
+The dense optimizers **reject** sparse gradients with a ``TypeError``
+rather than silently densifying — mixing the two is almost always a
+configuration bug (a model built with ``sparse_grad=True`` driven by a
+plain ``Adam``).
+
+Every ``step()`` bumps the global data version only when at least one
+parameter actually changed, so a no-op step (all grads ``None``) cannot
+spuriously invalidate :class:`~repro.graph.propagation.PropagationCache`
+entries.
 """
 
 from __future__ import annotations
@@ -10,9 +45,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.module import Parameter
+from repro.tensor.sparse import RowSparseGrad
 from repro.tensor.tensor import bump_data_version
 
-__all__ = ["Optimizer", "SGD", "Adam"]
+__all__ = ["Optimizer", "SGD", "Adam", "SparseOptimizer", "SparseSGD",
+           "SparseAdam"]
 
 
 class Optimizer:
@@ -33,6 +70,24 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    def flush(self) -> None:
+        """Apply any deferred updates; a no-op for dense optimizers.
+
+        Callers that read parameters (evaluation, checkpointing) can
+        always call this unconditionally; only ``exact``-mode sparse
+        optimizers override it with real work.
+        """
+
+    @staticmethod
+    def _reject_sparse(p: Parameter) -> None:
+        """Dense optimizers do not silently densify row-sparse grads."""
+        if isinstance(p.grad, RowSparseGrad):
+            raise TypeError(
+                "received a row-sparse gradient for a dense optimizer; use "
+                "SparseAdam/SparseSGD (repro.nn.optim), or disable "
+                "sparse_grad on the lookup (or call p.grad.densify()) if "
+                "dense updates are intended")
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
@@ -45,9 +100,11 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.params]
 
     def step(self) -> None:
+        changed = False
         for p, v in zip(self.params, self._velocity):
             if p.grad is None:
                 continue
+            self._reject_sparse(p)
             g = p.grad
             if self.weight_decay:
                 g = g + self.weight_decay * p.data
@@ -56,7 +113,9 @@ class SGD(Optimizer):
                 v += g
                 g = v
             p.data -= self.lr * g
-        bump_data_version()
+            changed = True
+        if changed:
+            bump_data_version()
 
 
 class Adam(Optimizer):
@@ -82,9 +141,11 @@ class Adam(Optimizer):
         b1, b2 = self.beta1, self.beta2
         bias1 = 1.0 - b1 ** self._t
         bias2 = 1.0 - b2 ** self._t
+        changed = False
         for p, m, v in zip(self.params, self._m, self._v):
             if p.grad is None:
                 continue
+            self._reject_sparse(p)
             g = p.grad
             if self.weight_decay:
                 g = g + self.weight_decay * p.data
@@ -95,4 +156,216 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
-        bump_data_version()
+            changed = True
+        if changed:
+            bump_data_version()
+
+
+class SparseOptimizer(Optimizer):
+    """Shared machinery of the row-sparse optimizers.
+
+    Subclasses implement :meth:`_dense_update` (full-table update, used
+    for parameters whose gradient arrived dense — auxiliary weights,
+    graph backbones whose gradients densified at propagation) and
+    :meth:`_row_update` (update of a touched row subset).  ``exact``
+    mode additionally requires :meth:`_replay` — one vectorized
+    zero-gradient catch-up step over a row subset.
+    """
+
+    MODES = ("lazy", "exact")
+
+    def __init__(self, params, lr: float, weight_decay: float, mode: str):
+        super().__init__(params, lr)
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
+        self.weight_decay = weight_decay
+        self.mode = mode
+        self._t = 0
+        #: per-parameter step clock of each row's last applied update
+        #: (exact mode only).
+        self._last = ([np.zeros(len(p.data), dtype=np.int64)
+                       for p in self.params] if mode == "exact" else None)
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        self._t += 1
+        changed = False
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            if isinstance(p.grad, RowSparseGrad):
+                rows, vals = p.grad.indices, p.grad.values
+                if self.mode == "exact":
+                    self._catch_up(i, rows, self._t - 1)
+                self._row_update(i, rows, vals)
+                if self.mode == "exact":
+                    self._last[i][rows] = self._t
+            else:
+                if self.mode == "exact":
+                    # A dense gradient (auxiliary losses, graph models)
+                    # touches every row, so the skipped zero-grad
+                    # updates of previously-idle rows must be replayed
+                    # first or this step would run on stale moments and
+                    # the dense-parity contract would silently break.
+                    self._catch_up(i, np.arange(len(p.data)), self._t - 1)
+                self._dense_update(i)
+                if self.mode == "exact":
+                    self._last[i][:] = self._t
+            changed = True
+        if changed:
+            bump_data_version()
+
+    def flush(self) -> None:
+        """Replay every pending zero-gradient update (exact mode).
+
+        After ``flush()`` the parameters are bit-for-bit what the dense
+        optimizer would hold after the same gradient stream.  A no-op in
+        lazy mode (lazy rows intentionally never receive the skipped
+        updates).
+        """
+        if self.mode != "exact":
+            return
+        changed = False
+        for i, p in enumerate(self.params):
+            stale = np.nonzero(self._last[i] < self._t)[0]
+            if len(stale):
+                self._catch_up(i, stale, self._t)
+                self._last[i][stale] = self._t
+                changed = True
+        if changed:
+            bump_data_version()
+
+    # ------------------------------------------------------------------
+    def _catch_up(self, i: int, rows: np.ndarray, upto: int) -> None:
+        """Replay the zero-grad steps ``last[row]+1 .. upto`` per row."""
+        last = self._last[i][rows]
+        gaps = upto - last
+        pending = gaps > 0
+        if not pending.any():
+            return
+        rows, last, gaps = rows[pending], last[pending], gaps[pending]
+        idle = self._idle_rows(i, rows)
+        if self.weight_decay == 0.0 and idle.any():
+            # Zero moments + zero grad + zero decay: the replayed steps
+            # are exact no-ops, so the clock can jump for free.  This is
+            # what keeps exact-mode cost amortized — a row's first touch
+            # does not pay for the whole warm-up history.
+            keep = ~idle
+            rows, last, gaps = rows[keep], last[keep], gaps[keep]
+            if len(rows) == 0:
+                return  # callers advance the per-row clock themselves
+        max_gap = int(gaps.max())
+        for j in range(1, max_gap + 1):
+            active = gaps >= j
+            self._replay(i, rows[active], last[active] + j)
+        # callers update self._last afterwards
+
+    def _idle_rows(self, i: int, rows: np.ndarray) -> np.ndarray:
+        """Boolean mask of rows whose replay would be a no-op."""
+        raise NotImplementedError
+
+    def _replay(self, i: int, rows: np.ndarray, step_nums: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _dense_update(self, i: int) -> None:
+        raise NotImplementedError
+
+    def _row_update(self, i: int, rows: np.ndarray,
+                    vals: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class SparseSGD(SparseOptimizer):
+    """SGD over row-sparse gradients.
+
+    ``lazy``: touched rows get the classical momentum/decay update;
+    untouched rows keep their velocity frozen (and never move).  With
+    ``momentum=0`` and ``weight_decay=0`` lazy is already identical to
+    dense SGD.  ``exact``: skipped velocity-decay and weight-decay
+    steps are replayed on touch, matching dense SGD exactly.
+    """
+
+    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0, mode: str = "lazy"):
+        super().__init__(params, lr, weight_decay, mode)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def _apply(self, i: int, rows, g: np.ndarray) -> None:
+        p, v = self.params[i], self._velocity[i]
+        if self.weight_decay:
+            g = g + self.weight_decay * p.data[rows]
+        if self.momentum:
+            v[rows] = self.momentum * v[rows] + g
+            g = v[rows]
+        p.data[rows] -= self.lr * g
+
+    def _dense_update(self, i: int) -> None:
+        self._apply(i, slice(None), self.params[i].grad)
+
+    def _row_update(self, i, rows, vals) -> None:
+        self._apply(i, rows, vals)
+
+    def _idle_rows(self, i, rows) -> np.ndarray:
+        if self.momentum == 0.0:
+            return np.ones(len(rows), dtype=bool)
+        v = self._velocity[i][rows]
+        return ~v.reshape(len(rows), -1).any(axis=1)
+
+    def _replay(self, i, rows, step_nums) -> None:
+        self._apply(i, rows, np.zeros_like(self.params[i].data[rows]))
+
+
+class SparseAdam(SparseOptimizer):
+    """Adam over row-sparse gradients (``torch.optim.SparseAdam`` family).
+
+    ``lazy``: exactly PyTorch's ``SparseAdam`` update — only touched
+    rows have their moments decayed and bias-corrected against the
+    *global* step count; ``weight_decay`` is lazy regularization
+    (applied to a row only when it is touched).  ``exact``: per-row
+    step clocks replay the skipped zero-gradient updates (including the
+    per-step ``weight_decay`` pull) so the trajectory is numerically
+    equivalent to dense :class:`Adam`; call :meth:`flush` (the trainer
+    does) before reading parameters.
+    """
+
+    def __init__(self, params, lr: float = 1e-3, betas=(0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0,
+                 mode: str = "lazy"):
+        super().__init__(params, lr, weight_decay, mode)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def _apply(self, i: int, rows, g: np.ndarray, step_nums) -> None:
+        """One Adam update of ``rows`` at (per-row) step numbers."""
+        p, m, v = self.params[i], self._m[i], self._v[i]
+        b1, b2 = self.beta1, self.beta2
+        if self.weight_decay:
+            g = g + self.weight_decay * p.data[rows]
+        m[rows] = b1 * m[rows] + (1.0 - b1) * g
+        v[rows] = b2 * v[rows] + (1.0 - b2) * g * g
+        steps = np.asarray(step_nums, dtype=np.float64)
+        if steps.ndim:  # per-row bias correction during exact replay
+            steps = steps.reshape((-1,) + (1,) * (p.data.ndim - 1))
+        bias1 = 1.0 - b1 ** steps
+        bias2 = 1.0 - b2 ** steps
+        m_hat = m[rows] / bias1
+        v_hat = v[rows] / bias2
+        p.data[rows] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _dense_update(self, i: int) -> None:
+        self._apply(i, slice(None), self.params[i].grad, self._t)
+
+    def _row_update(self, i, rows, vals) -> None:
+        self._apply(i, rows, vals, self._t)
+
+    def _idle_rows(self, i, rows) -> np.ndarray:
+        flat_m = self._m[i][rows].reshape(len(rows), -1)
+        flat_v = self._v[i][rows].reshape(len(rows), -1)
+        return ~(flat_m.any(axis=1) | flat_v.any(axis=1))
+
+    def _replay(self, i, rows, step_nums) -> None:
+        self._apply(i, rows, np.zeros_like(self.params[i].data[rows]),
+                    step_nums)

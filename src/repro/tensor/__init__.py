@@ -1,10 +1,11 @@
 """Autograd substrate: numpy-backed tensors with reverse-mode gradients."""
 
 from repro.tensor.tensor import Tensor, as_tensor, no_grad, is_grad_enabled
+from repro.tensor.sparse import RowSparseGrad
 from repro.tensor import ops, functional
 from repro.tensor.random import ensure_rng, spawn_rngs
 
 __all__ = [
-    "Tensor", "as_tensor", "no_grad", "is_grad_enabled",
+    "Tensor", "as_tensor", "no_grad", "is_grad_enabled", "RowSparseGrad",
     "ops", "functional", "ensure_rng", "spawn_rngs",
 ]

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.tensor.sparse import RowSparseGrad
 from repro.tensor.tensor import Tensor, as_tensor, unbroadcast, is_grad_enabled
 
 __all__ = [
@@ -279,11 +280,23 @@ def getitem(a, index) -> Tensor:
     return _node(data, (a,), backward)
 
 
-def take_rows(a, indices) -> Tensor:
+def take_rows(a, indices, sparse_grad: bool = False) -> Tensor:
     """Row gather with scatter-add backward; the embedding-lookup primitive.
 
     Faster than generic ``getitem`` because the backward uses bincount-style
     accumulation over the leading axis only.
+
+    Parameters
+    ----------
+    sparse_grad:
+        When True the backward produces a coalesced
+        :class:`~repro.tensor.sparse.RowSparseGrad` over the leading
+        axis instead of a dense ``zeros_like`` scatter — ``O(batch)``
+        instead of ``O(num_rows)`` per step.  The sparse gradient
+        reaches ``Parameter.grad`` intact only when ``a`` is a leaf;
+        flowing into any interior node densifies it (see
+        ``Tensor.backward``), so graph backbones behave exactly as with
+        the default dense path.
     """
     a = as_tensor(a)
     idx = np.asarray(indices.data if isinstance(indices, Tensor) else indices,
@@ -291,9 +304,14 @@ def take_rows(a, indices) -> Tensor:
     data = a.data[idx]
 
     def backward(g):
-        out = np.zeros_like(a.data)
         flat_idx = idx.reshape(-1)
-        flat_g = g.reshape(-1, a.data.shape[-1]) if a.data.ndim > 1 else g.reshape(-1)
+        if a.data.ndim > 1:
+            flat_g = g.reshape(-1, a.data.shape[-1])
+        else:
+            flat_g = g.reshape(-1)
+        if sparse_grad:
+            return (RowSparseGrad.from_rows(flat_idx, flat_g, a.shape),)
+        out = np.zeros_like(a.data)
         np.add.at(out, flat_idx, flat_g)
         return (out,)
 

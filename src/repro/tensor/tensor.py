@@ -41,6 +41,17 @@ the closed-form gradient, implement forward+backward as one
 gradcheck against the compositional oracle in
 ``tests/test_tensor_fused.py`` before switching any caller's default.
 
+Row-sparse gradients
+--------------------
+``ops.take_rows(..., sparse_grad=True)`` makes the embedding-lookup
+backward emit a coalesced :class:`~repro.tensor.sparse.RowSparseGrad`
+instead of a dense scatter.  The engine keeps such gradients sparse
+only on the direct path into a leaf: sparse + sparse accumulation
+merges, sparse + dense densifies, and a sparse gradient flowing into
+any *interior* node is densified before that node's backward runs —
+the escape hatch that keeps every dense VJP valid (see
+``docs/training.md`` for the full contract and the sparse optimizers).
+
 In-place data versioning
 ------------------------
 Code that mutates ``Tensor.data`` buffers in place (optimizer steps,
@@ -237,6 +248,14 @@ class Tensor:
                 node.grad = g if node.grad is None else node.grad + g
             if node._backward is None:
                 continue
+            if isinstance(g, RowSparseGrad):
+                # A row-sparse gradient (from ``take_rows(sparse_grad=
+                # True)``) stays sparse only while it flows into a leaf.
+                # Interior nodes (graph propagation, whole-table
+                # normalization, ...) receive the dense equivalent — the
+                # escape hatch that keeps every existing backward VJP
+                # valid without sparse-aware rewrites.
+                g = g.densify()
             parent_grads = node._backward(g)
             for parent, pg in zip(node._parents, parent_grads):
                 if pg is None:
@@ -373,3 +392,4 @@ def _raw(value):
 
 # Imported at the bottom to resolve the Tensor <-> ops cycle.
 from repro.tensor import ops  # noqa: E402  (intentional late import)
+from repro.tensor.sparse import RowSparseGrad  # noqa: E402

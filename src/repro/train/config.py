@@ -32,6 +32,15 @@ class TrainConfig:
     patience: int = 0
     #: metric watched for early stopping / best checkpoint
     watch_metric: str = "ndcg@20"
+    #: "dense" scores the batch against the full catalogue and trains
+    #: with dense Adam; "sparse" scores only the sampled rows
+    #: (``sampled_batch_scores``) and trains with ``SparseAdam``, making
+    #: per-step cost scale with the batch instead of the catalogue
+    #: (see ``docs/training.md``).
+    grad_mode: str = "dense"
+    #: sparse-optimizer mode: "lazy" (touched-rows-only, the fast
+    #: default) or "exact" (dense-Adam-equivalent lazy catch-up).
+    sparse_mode: str = "lazy"
     seed: int = 0
     verbose: bool = False
 
@@ -42,6 +51,12 @@ class TrainConfig:
             raise ValueError(f"unknown sampler {self.sampler!r}")
         if self.patience and not self.eval_every:
             raise ValueError("patience requires eval_every > 0")
+        if self.grad_mode not in ("dense", "sparse"):
+            raise ValueError(f"grad_mode must be dense/sparse, "
+                             f"got {self.grad_mode!r}")
+        if self.sparse_mode not in ("lazy", "exact"):
+            raise ValueError(f"sparse_mode must be lazy/exact, "
+                             f"got {self.sparse_mode!r}")
 
     def replace(self, **kwargs) -> "TrainConfig":
         """Return a copy with some fields overridden."""

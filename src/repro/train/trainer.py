@@ -19,7 +19,7 @@ from repro.data.sampling import (InBatchSampler, PopularityNegativeSampler,
 from repro.eval.evaluator import Evaluator
 from repro.losses.base import Loss
 from repro.models.base import Recommender
-from repro.nn.optim import Adam
+from repro.nn.optim import Adam, SparseAdam
 from repro.tensor.random import ensure_rng, spawn_rngs
 from repro.train.config import TrainConfig
 
@@ -66,8 +66,14 @@ class Trainer:
         self.config = config
         sampler_rng, self._epoch_rng = spawn_rngs(config.seed, 2)
         self.sampler = self._build_sampler(sampler_rng)
-        self.optimizer = Adam(model.parameters(), lr=config.learning_rate,
-                              weight_decay=config.weight_decay)
+        if config.grad_mode == "sparse":
+            self.optimizer = SparseAdam(
+                model.parameters(), lr=config.learning_rate,
+                weight_decay=config.weight_decay, mode=config.sparse_mode)
+        else:
+            self.optimizer = Adam(model.parameters(),
+                                  lr=config.learning_rate,
+                                  weight_decay=config.weight_decay)
         if evaluator is None and (config.eval_every or config.patience):
             evaluator = Evaluator(dataset, ks=(20,))
         self.evaluator = evaluator
@@ -112,6 +118,7 @@ class Trainer:
             should_eval = cfg.eval_every and (epoch % cfg.eval_every == 0)
             if not should_eval:
                 continue
+            self._flush_optimizer()
             metrics = self.evaluator.evaluate(self.model).metrics
             result.eval_history.append((epoch, metrics))
             value = metrics.get(cfg.watch_metric, -np.inf)
@@ -124,6 +131,7 @@ class Trainer:
                 stale += 1
                 if cfg.patience and stale >= cfg.patience:
                     break
+        self._flush_optimizer()
         if best_state is not None:
             self.model.load_state_dict(best_state)
             result.final_metrics = dict(
@@ -145,17 +153,36 @@ class Trainer:
             count += len(batch)
         return total / max(count, 1)
 
+    def _flush_optimizer(self) -> None:
+        """Replay pending exact-mode sparse updates before observation.
+
+        An ``exact``-mode sparse optimizer defers zero-gradient row
+        updates until the row's next touch; anything that *reads*
+        parameters (evaluation, checkpointing, the final model) must
+        see the caught-up state, or exact mode would silently diverge
+        from the dense trajectory at exactly the points we measure it.
+        ``flush`` is a no-op on every other optimizer.
+        """
+        self.optimizer.flush()
+
     def train_step(self, batch) -> float:
         """One optimizer step on a prepared batch; returns the batch loss.
 
         This is the canonical training step — the perf harness
         (:mod:`repro.experiments.perf`) times exactly this method, so
         benchmark numbers always measure what training actually runs.
+        In ``grad_mode="sparse"`` the batch is scored through
+        :meth:`~repro.models.base.Recommender.sampled_batch_scores`
+        (row gathers only), so the backward produces row-sparse
+        gradients for the sparse optimizer.
         """
         self.optimizer.zero_grad()
         loss_t = self.model.custom_loss(batch)
         if loss_t is None:
-            pos, neg = self.model.batch_scores(batch)
+            if self.config.grad_mode == "sparse":
+                pos, neg = self.model.sampled_batch_scores(batch)
+            else:
+                pos, neg = self.model.batch_scores(batch)
             loss_t = self.loss(pos, neg)
         aux = self.model.auxiliary_loss(batch)
         if aux is not None:

@@ -26,7 +26,7 @@ def yelp_retrieval(tmp_path_factory):
     """
     dataset = load_dataset("yelp2018-small")
     model = get_model("mf", dataset, dim=64, rng=0)
-    config = TrainConfig(epochs=15, n_negatives=16, eval_every=0,
+    config = TrainConfig(epochs=25, n_negatives=16, eval_every=0,
                          patience=0, seed=0)
     train_model(model, get_loss("bpr"), dataset, config)
     out = tmp_path_factory.mktemp("yelp-snap")

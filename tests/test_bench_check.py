@@ -37,6 +37,24 @@ def _minimal_serve_payload():
     }
 
 
+def _minimal_train_payload():
+    return {
+        "schema": "bsl-train-bench/v1",
+        "created_unix": 1.0,
+        "dataset": "tiny",
+        "config": {"model": "mf"},
+        "results": [
+            {"kind": "train_throughput", "model": "mf", "loss": "bsl",
+             "grad_mode": "sparse", "num_items": 80, "catalogue_scale": 1,
+             "batch_size": 64, "n_negatives": 8, "ms_per_step": 5.0,
+             "steps_per_s": 200.0},
+            {"kind": "train_quality", "model": "mf", "loss": "bsl",
+             "grad_mode": "sparse", "sparse_mode": "lazy", "epochs": 2,
+             "ndcg_at_20": 0.2},
+        ],
+    }
+
+
 def _minimal_ann_payload():
     return {
         "schema": "bsl-ann-bench/v1",
@@ -70,6 +88,13 @@ class TestRepoFilesPass:
         assert payload["schema"] == "bsl-ann-bench/v1"
         kinds = {row["kind"] for row in payload["results"]}
         assert {"ann", "ann_baseline"} <= kinds
+
+    def test_train_file_expected(self, check_bench):
+        assert "BENCH_train.json" in check_bench.EXPECTED
+        payload = json.loads((REPO_ROOT / "BENCH_train.json").read_text())
+        assert payload["schema"] == "bsl-train-bench/v1"
+        kinds = {row["kind"] for row in payload["results"]}
+        assert {"train_throughput", "train_quality"} <= kinds
 
 
 class TestValidatorCatchesRot:
@@ -133,6 +158,42 @@ class TestValidatorCatchesRot:
         path.write_text("{}")
         problems = check_bench.check_file(path)
         assert any("unknown bench file" in p for p in problems)
+
+
+class TestTrainValidation:
+    def test_good_train_payload_passes(self, check_bench):
+        problems = check_bench.check_payload("BENCH_train.json",
+                                             _minimal_train_payload())
+        assert problems == []
+
+    def test_missing_frontier_columns_rejected(self, check_bench):
+        for column in ("grad_mode", "num_items", "ms_per_step",
+                       "steps_per_s"):
+            payload = _minimal_train_payload()
+            del payload["results"][0][column]
+            problems = check_bench.check_payload("BENCH_train.json", payload)
+            assert any("missing fields" in p and column in p
+                       for p in problems), column
+
+    def test_missing_quality_section_rejected(self, check_bench):
+        payload = _minimal_train_payload()
+        payload["results"] = [r for r in payload["results"]
+                              if r["kind"] != "train_quality"]
+        problems = check_bench.check_payload("BENCH_train.json", payload)
+        assert any("train_quality" in p and "required section" in p
+                   for p in problems)
+
+    def test_non_finite_step_time_rejected(self, check_bench):
+        payload = _minimal_train_payload()
+        payload["results"][0]["ms_per_step"] = float("nan")
+        problems = check_bench.check_payload("BENCH_train.json", payload)
+        assert any("non-finite" in p for p in problems)
+
+    def test_wrong_schema_rejected(self, check_bench):
+        payload = _minimal_train_payload()
+        payload["schema"] = "bsl-train-bench/v0"
+        problems = check_bench.check_payload("BENCH_train.json", payload)
+        assert any("does not match expected" in p for p in problems)
 
 
 class TestAnnValidation:

@@ -129,6 +129,14 @@ class TestMakefileAndScripts:
     def test_ci_alias_target(self):
         assert "ci" in _make_targets()
 
+    def test_bench_train_target_and_verb_exist(self):
+        """The training-frontier entry points are wired end to end."""
+        assert "bench-train" in _make_targets()
+        assert "perf-train" in _cli_verbs()
+        makefile = (REPO_ROOT / "Makefile").read_text()
+        assert "perf-train" in makefile
+        assert (REPO_ROOT / "benchmarks" / "train_perf.py").is_file()
+
     def test_verify_wires_bench_check(self):
         makefile = (REPO_ROOT / "Makefile").read_text()
         assert "bench-check" in makefile

@@ -90,6 +90,66 @@ class TestUniformSampler:
         np.testing.assert_array_equal(a.users, b.users)
 
 
+class TestExactRedraw:
+    """The one-shot masked redraw: exact, collision-free, and uniform."""
+
+    def test_redraw_leaves_zero_collisions(self, tiny_dataset):
+        """Unlike the old bounded rejection loop, the rank-mapped redraw
+        can never leave a collision (no user in tiny is full-degree)."""
+        sampler = UniformNegativeSampler(tiny_dataset, n_negatives=64,
+                                         batch_size=10_000, rng=0)
+        mask = tiny_dataset.positive_mask()
+        for _ in range(3):
+            batch = next(iter(sampler.epoch()))
+            assert mask[batch.users[:, None], batch.negatives].sum() == 0
+
+    def test_distribution_uniform_over_complement(self, tiny_dataset):
+        """Fixed-seed statistical pin: per-item frequencies over the
+        heaviest user's complement match the uniform law (chi-square
+        statistic within 3 sigma of its dof, no item starved)."""
+        deg = tiny_dataset.user_degree()
+        user = int(np.argmax(deg))
+        complement = np.setdiff1d(np.arange(tiny_dataset.num_items),
+                                  tiny_dataset.train_items_by_user[user])
+        sampler = UniformNegativeSampler(tiny_dataset, n_negatives=200,
+                                         batch_size=10_000, rng=5)
+        draws = []
+        for _ in range(30):
+            batch = next(iter(sampler.epoch()))
+            draws.append(batch.negatives[batch.users == user].ravel())
+        draws = np.concatenate(draws)
+        counts = np.bincount(draws, minlength=tiny_dataset.num_items)
+        assert counts[tiny_dataset.train_items_by_user[user]].sum() == 0
+        assert (counts[complement] > 0).all()
+        expected = len(draws) / len(complement)
+        chi2 = ((counts[complement] - expected) ** 2 / expected).sum()
+        dof = len(complement) - 1
+        assert abs(chi2 - dof) <= 3.0 * np.sqrt(2.0 * dof), \
+            f"chi2={chi2:.1f} vs dof={dof} — not uniform over complement"
+
+    def test_full_degree_user_slots_left_untouched(self):
+        """A user whose positives cover the catalogue has no complement;
+        the redraw must leave those slots alone instead of crashing."""
+        from repro.data import InteractionDataset
+        pairs = np.array([[0, i] for i in range(3)] + [[1, 0]])
+        ds = InteractionDataset(2, 3, pairs, np.array([[1, 1]]))
+        sampler = UniformNegativeSampler(ds, n_negatives=8, batch_size=16,
+                                         rng=0)
+        batch = next(iter(sampler.epoch()))
+        assert batch.negatives.shape == (len(batch), 8)
+        # user 1's slots are clean (complement {1, 2} exists)
+        clean = batch.negatives[batch.users == 1]
+        assert not np.isin(clean, [0]).any()
+
+    def test_sorted_padded_positives_contract(self, tiny_dataset):
+        padded, degrees = tiny_dataset.sorted_padded_positives()
+        for u in range(0, tiny_dataset.num_users, 7):
+            items = np.unique(tiny_dataset.train_items_by_user[u])
+            np.testing.assert_array_equal(padded[u, :degrees[u]], items)
+            assert (padded[u, degrees[u]:] > tiny_dataset.num_items
+                    + padded.shape[1]).all()
+
+
 class TestPopularitySampler:
     def test_popular_items_oversampled(self, tiny_dataset):
         sampler = PopularityNegativeSampler(tiny_dataset, n_negatives=64,

@@ -83,6 +83,21 @@ class TestCacheMechanics:
         u2, _ = model.propagate()
         assert u2 is u1, "aborted load must not invalidate the cache"
 
+    def test_noop_optimizer_step_keeps_cache_valid(self, tiny_dataset):
+        """A step where every p.grad is None changes nothing, so it must
+        not bump the data version and invalidate the propagation memo."""
+        from repro.nn.optim import Adam, SparseAdam
+        model = get_model("lightgcn", tiny_dataset, dim=8, rng=0)
+        u1, _ = model.propagate()
+        for make in (lambda p: SGD(p, lr=0.1), lambda p: Adam(p, lr=0.1),
+                     lambda p: SparseAdam(p, lr=0.1)):
+            opt = make(model.parameters())
+            model.zero_grad()
+            opt.step()  # all grads None: no parameter changed
+            u2, _ = model.propagate()
+            assert u2 is u1, f"{type(opt).__name__} no-op step must not " \
+                             "invalidate the memo"
+
     def test_explicit_invalidation(self, tiny_dataset):
         model = get_model("lightgcn", tiny_dataset, dim=8, rng=0)
         u1, _ = model.propagate()
