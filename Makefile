@@ -7,13 +7,14 @@
 #   make bench         regenerate BENCH_fastpath.json + BENCH_serve.json
 #   make bench-train   regenerate the training frontier (BENCH_train.json)
 #   make bench-ann     regenerate the ANN frontier (BENCH_ann.json)
+#   make bench-latency regenerate the tail-latency frontier (BENCH_latency.json)
 #   make docs-check    just the README/docs reference checker
 #   make bench-check   just the benchmark JSON schema validator
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify verify-slow test ci docs-check bench-check bench bench-train bench-ann
+.PHONY: verify verify-slow test ci docs-check bench-check bench bench-train bench-ann bench-latency
 
 verify: docs-check bench-check
 	$(PYTHON) -m pytest -x -q
@@ -41,3 +42,6 @@ bench-train:
 
 bench-ann:
 	$(PYTHON) -m repro.cli perf-serve --ann-only --ann-out BENCH_ann.json
+
+bench-latency:
+	$(PYTHON) -m repro.cli perf-latency --out BENCH_latency.json

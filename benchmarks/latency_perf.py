@@ -1,0 +1,27 @@
+"""Runnable latency-frontier harness (not collected by pytest).
+
+Thin wrapper over :mod:`repro.experiments.perf` so the benchmark
+directory has a one-command entry point::
+
+    PYTHONPATH=src python benchmarks/latency_perf.py [--out BENCH_latency.json ...]
+
+Trains one (model, loss) cell, exports an embedding snapshot, and
+drives the async :class:`~repro.serve.runtime.ServingRuntime` with a
+paced open-loop load generator, sweeping offered QPS multiplicatively
+until saturation, writing ``BENCH_latency.json`` (schema
+``bsl-latency-bench/v1``).  Equivalent to
+``python -m repro.cli perf-latency``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+if __name__ == "__main__":
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    src = repo_root / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    from repro.cli import main
+    raise SystemExit(main(["perf-latency", *sys.argv[1:]]))

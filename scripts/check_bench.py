@@ -2,9 +2,11 @@
 """Bench-schema validator: the checked-in benchmark JSONs must not rot.
 
 Validates ``BENCH_fastpath.json``, ``BENCH_train.json``,
-``BENCH_serve.json`` and ``BENCH_ann.json`` against the schemas their
-generators declare (``bsl-fastpath-bench/v1``, ``bsl-train-bench/v1``,
-``bsl-serve-bench/v2``, ``bsl-ann-bench/v1``):
+``BENCH_serve.json``, ``BENCH_ann.json`` and ``BENCH_latency.json``
+against the schemas their generators declare
+(``bsl-fastpath-bench/v1``, ``bsl-train-bench/v1``,
+``bsl-serve-bench/v2``, ``bsl-ann-bench/v1``,
+``bsl-latency-bench/v1``):
 
 * the top level must carry ``schema`` / ``created_unix`` / ``dataset`` /
   ``config`` / ``results`` and the schema string must match exactly;
@@ -14,8 +16,10 @@ generators declare (``bsl-fastpath-bench/v1``, ``bsl-train-bench/v1``,
   grad_mode/num_items/ms_per_step columns; ``serve`` +
   ``serve_sharded`` for the serve file; ``ann`` + ``ann_baseline`` for
   the ANN frontier, where every ``ann`` row must carry the
-  nlist/nprobe/recall/users_per_s columns) must be present and its rows
-  must carry the per-kind required fields;
+  nlist/nprobe/recall/users_per_s columns; ``latency`` for the
+  tail-latency frontier, where every row must carry the
+  offered_qps/achieved_qps/p50_ms/p99_ms/shed_rate columns) must be
+  present and its rows must carry the per-kind required fields;
 * every number anywhere in the payload must be finite — a NaN or
   infinity in a throughput column means a broken timing run was
   committed.
@@ -41,6 +45,7 @@ EXPECTED = {
                          {"train_throughput", "train_quality"}),
     "BENCH_serve.json": ("bsl-serve-bench/v2", {"serve", "serve_sharded"}),
     "BENCH_ann.json": ("bsl-ann-bench/v1", {"ann", "ann_baseline"}),
+    "BENCH_latency.json": ("bsl-latency-bench/v1", {"latency"}),
 }
 
 #: result kind -> fields every row of that kind must carry
@@ -64,6 +69,9 @@ REQUIRED_FIELDS = {
     "ann": {"index", "nlist", "nprobe", "recall", "users_per_s", "k",
             "batch_size", "candidates_mean", "speedup_vs_exact"},
     "ann_baseline": {"index", "users_per_s", "k", "batch_size"},
+    "latency": {"index", "offered_qps", "achieved_qps", "p50_ms", "p99_ms",
+                "shed_rate", "k", "slo_ms", "mean_queue_ms",
+                "mean_service_ms"},
 }
 
 _TOP_LEVEL = ("schema", "created_unix", "dataset", "config", "results")

@@ -25,6 +25,10 @@ Subcommands:
   perf trajectory); ``--ann`` also sweeps the IVF recall/throughput
   frontier into ``BENCH_ann.json`` (``--ann-only`` skips the serve
   grid).
+* ``perf-latency`` — drive the async serving runtime with a paced
+  load generator, sweeping offered QPS until saturation, and write
+  ``BENCH_latency.json`` (the p50/p99 tail-latency frontier; see
+  ``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -317,6 +321,26 @@ def _cmd_perf_serve(args) -> int:
     return 0
 
 
+def _cmd_perf_latency(args) -> int:
+    """Run the latency-frontier suite and write ``BENCH_latency.json``."""
+    from repro.experiments.perf import (LatencyPerfConfig, run_latency_suite,
+                                        summarize_latency, write_report)
+    config = LatencyPerfConfig(
+        dataset=args.dataset, model=args.model, loss=args.loss,
+        epochs=args.epochs, dim=args.dim, k=args.k,
+        start_qps=args.start_qps, qps_step=args.qps_step,
+        max_levels=args.max_levels,
+        requests_per_level=args.requests_per_level,
+        saturation_ratio=args.saturation_ratio, slo_ms=args.slo_ms,
+        max_queue=args.max_queue, initial_batch=args.initial_batch,
+        max_batch=args.max_batch, window=args.window, seed=args.seed)
+    payload = run_latency_suite(config)
+    write_report(payload, args.out)
+    print(summarize_latency(payload))
+    print(f"wrote {args.out}")
+    return 0
+
+
 def _add_train_cell_args(parser: argparse.ArgumentParser) -> None:
     """Flags shared by every verb that trains one (model, loss) cell."""
     parser.add_argument("--dataset", default="yelp2018-small",
@@ -507,6 +531,38 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(pairwise losses cluster best; see "
                                  "docs/ann.md)")
     perf_serve.add_argument("--ann-epochs", type=int, default=25)
+
+    perf_latency = sub.add_parser(
+        "perf-latency",
+        help="sweep offered load through the async serving runtime, "
+             "write BENCH_latency.json")
+    perf_latency.add_argument("--dataset", default="yelp2018-small",
+                              choices=dataset_names())
+    perf_latency.add_argument("--model", default="mf",
+                              choices=model_names())
+    perf_latency.add_argument("--loss", default="bsl",
+                              choices=loss_names())
+    perf_latency.add_argument("--epochs", type=int, default=8)
+    perf_latency.add_argument("--dim", type=int, default=64)
+    perf_latency.add_argument("--k", type=int, default=DEFAULT_TOP_K)
+    perf_latency.add_argument("--start-qps", type=float, default=200.0,
+                              help="offered load of the first sweep level")
+    perf_latency.add_argument("--qps-step", type=float, default=2.0,
+                              help="multiplicative step between levels")
+    perf_latency.add_argument("--max-levels", type=int, default=8)
+    perf_latency.add_argument("--requests-per-level", type=int, default=512)
+    perf_latency.add_argument("--saturation-ratio", type=float, default=0.9,
+                              help="stop once achieved/offered drops below")
+    perf_latency.add_argument("--slo-ms", type=float, default=50.0,
+                              help="runtime p99 latency target")
+    perf_latency.add_argument("--max-queue", type=int, default=256,
+                              help="admission-queue bound (sheds past it)")
+    perf_latency.add_argument("--initial-batch", type=int, default=8)
+    perf_latency.add_argument("--max-batch", type=int, default=256)
+    perf_latency.add_argument("--window", type=int, default=64,
+                              help="completions between batch adaptations")
+    perf_latency.add_argument("--seed", type=int, default=0)
+    perf_latency.add_argument("--out", default="BENCH_latency.json")
     return parser
 
 
@@ -517,7 +573,8 @@ def main(argv=None) -> int:
                 "sweep-tau": _cmd_sweep_tau, "perf": _cmd_perf,
                 "perf-train": _cmd_perf_train, "export": _cmd_export,
                 "build-ann": _cmd_build_ann, "recommend": _cmd_recommend,
-                "perf-serve": _cmd_perf_serve}
+                "perf-serve": _cmd_perf_serve,
+                "perf-latency": _cmd_perf_latency}
     return handlers[args.command](args)
 
 

@@ -32,6 +32,8 @@ from repro.serve.index import (PANEL_WIDTH, ExactTopKIndex,
                                build_index)
 from repro.serve.router import (RouterStats, ShardedRecommendationService,
                                 ShardedTopKIndex)
+from repro.serve.runtime import (AsyncRequest, OverloadError, RuntimeConfig,
+                                 RuntimeStats, ServingRuntime)
 from repro.serve.service import (LRUCache, PendingRequest, Recommendation,
                                  RecommendationService, ServiceStats)
 from repro.serve.shard import (ExactShardIndex, ItemShard, ItemShardIndex,
@@ -58,4 +60,6 @@ __all__ = [
     "RouterStats", "ShardedTopKIndex", "ShardedRecommendationService",
     "Recommendation", "ServiceStats", "LRUCache", "PendingRequest",
     "RecommendationService",
+    "OverloadError", "RuntimeConfig", "RuntimeStats", "AsyncRequest",
+    "ServingRuntime",
 ]

@@ -32,7 +32,9 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
+import os
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
@@ -100,6 +102,16 @@ class ShardedTopKIndex:
         the routed results are bit-identical to the plain sharded path.
     ann_nprobe:
         Probe count for the generator (default: its own default).
+    workers:
+        Concurrent item-shard fan-out width.  ``None`` (default) picks
+        ``min(num_item_shards, cpu count)``; values ``<= 1`` score the
+        shards sequentially.  The per-shard ``partial_topk`` calls
+        release the GIL inside BLAS, so a thread pool genuinely
+        overlaps shard scoring — and because each shard's scores come
+        from the same fixed-shape panel kernels regardless of which
+        thread runs them, and the k-way merge consumes the partials in
+        shard order, concurrent results are **bit-identical** to the
+        sequential router (pinned by ``tests/test_serve_sharded.py``).
     **index_kwargs:
         Extra arguments for the per-shard scorers (e.g. ``panel_width``
         for exact, ``chunk_items`` for quantized).
@@ -107,7 +119,8 @@ class ShardedTopKIndex:
 
     def __init__(self, snapshot: ShardedSnapshot, kind: str = "exact",
                  chunk_users: int = 256, ann=None,
-                 ann_nprobe: int | None = None, **index_kwargs):
+                 ann_nprobe: int | None = None,
+                 workers: int | None = None, **index_kwargs):
         if chunk_users <= 0:
             raise ValueError(f"chunk_users must be positive, got {chunk_users}")
         self.snapshot = snapshot
@@ -115,6 +128,12 @@ class ShardedTopKIndex:
         self.shard_indexes = [
             build_shard_index(shard, snapshot.scoring, kind, **index_kwargs)
             for shard in snapshot.item_shards]
+        if workers is None:
+            workers = min(len(self.shard_indexes), os.cpu_count() or 1)
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+        self._pool: ThreadPoolExecutor | None = None
         self.stats = RouterStats()
         self._kind = kind
         self.ann = getattr(ann, "data", ann)
@@ -190,9 +209,20 @@ class ShardedTopKIndex:
         else:
             cand_indptr, cand_global = None, None
         t1 = time.perf_counter()
-        partials = [index.partial_topk(vectors, k, seen_indptr, seen_global,
-                                       cand_indptr, cand_global)
-                    for index in self.shard_indexes]
+        if self.workers > 1 and len(self.shard_indexes) > 1:
+            # Concurrent fan-out: the pool maps over shards in order, so
+            # the merge below consumes partials exactly as the
+            # sequential path would — parity stays bit-identical.
+            partials = list(self._fanout_pool().map(
+                lambda index: index.partial_topk(
+                    vectors, k, seen_indptr, seen_global,
+                    cand_indptr, cand_global),
+                self.shard_indexes))
+        else:
+            partials = [index.partial_topk(vectors, k, seen_indptr,
+                                           seen_global, cand_indptr,
+                                           cand_global)
+                        for index in self.shard_indexes]
         t2 = time.perf_counter()
         items, scores = _merge_partials(partials, k)
         t3 = time.perf_counter()
@@ -201,11 +231,26 @@ class ShardedTopKIndex:
         self.stats.merge_s += t3 - t2
         return items, scores
 
+    def _fanout_pool(self) -> ThreadPoolExecutor:
+        """Lazily created, reused thread pool for the shard fan-out."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="shard-fanout")
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the fan-out pool (idempotent; router stays usable —
+        the next concurrent route simply opens a fresh pool)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
     def __repr__(self) -> str:
         m = self.snapshot.manifest
         return (f"ShardedTopKIndex(kind={self.kind!r}, "
                 f"item_shards={m.num_item_shards}, "
                 f"user_shards={m.num_user_shards}, "
+                f"workers={self.workers}, "
                 f"snapshot={m.version!r})")
 
 
@@ -218,6 +263,20 @@ def _merge_partials(partials: list[tuple[np.ndarray, np.ndarray]],
     heap key ``(-score, id)`` preserves exactly that order across
     shards, so the first ``k`` popped entries equal the unsharded
     canonical ranking truncated at ``k``.
+
+    **Underflow invariant.**  Every contract-abiding partial carries
+    ``k_s = min(k, len(shard_s))`` columns, and ``k`` is clipped to the
+    catalogue size upstream, so the total candidate count satisfies
+    ``sum_s min(k, n_s) >= min(k, sum_s n_s) = k`` — the heap cannot
+    drain before rank ``k``.  This holds for ANN candidate routing too:
+    a shard owning fewer than ``k`` *candidates* for a user masks the
+    non-candidates to ``-inf`` but still pads its partial to ``k_s``
+    columns through the canonical ``(score desc, id asc)`` sentinel
+    order of :func:`repro.eval.metrics.rank_items`
+    (``tests/test_serve_sharded.py`` proves both cases).  A partial
+    narrower than its contract width is therefore a caller bug, and the
+    guard below fails loudly instead of raising a bare ``IndexError``
+    from an empty heap.
     """
     if len(partials) == 1:
         ids, scores = partials[0]
@@ -232,6 +291,12 @@ def _merge_partials(partials: list[tuple[np.ndarray, np.ndarray]],
                 heap.append((-scores[row, 0], int(ids[row, 0]), s, 0))
         heapq.heapify(heap)
         for rank in range(k):
+            if not heap:
+                total = sum(ids.shape[1] for ids, _ in partials)
+                raise ValueError(
+                    f"partial top-K underflow: {total} candidates across "
+                    f"{len(partials)} shards cannot fill k={k}; every "
+                    f"partial must carry min(k, shard_size) columns")
             neg_score, gid, s, pos = heapq.heappop(heap)
             out_items[row, rank] = gid
             out_scores[row, rank] = -neg_score
@@ -264,14 +329,19 @@ class ShardedRecommendationService(RecommendationService):
         snapshot (checked by content version).
     cache_size, max_batch:
         As in the unsharded service.
+    workers:
+        Fan-out width of the constructed router (ignored when an
+        explicit ``index`` is given); see :class:`ShardedTopKIndex`.
     """
 
     def __init__(self, snapshot: ShardedSnapshot, *, kind: str = "exact",
                  index: ShardedTopKIndex | None = None,
-                 cache_size: int = 4096, max_batch: int = 256):
+                 cache_size: int = 4096, max_batch: int = 256,
+                 workers: int | None = None):
         if index is None:
             index = ShardedTopKIndex(snapshot, kind=kind,
-                                     chunk_users=max_batch)
+                                     chunk_users=max_batch,
+                                     workers=workers)
         super().__init__(snapshot, index=index, cache_size=cache_size,
                          max_batch=max_batch)
 

@@ -1,0 +1,414 @@
+"""Async SLO-driven serving runtime: admission, batching, backpressure.
+
+:class:`ServingRuntime` is the request runtime the ROADMAP's "heavy
+traffic" items call for.  It puts a **bounded admission queue** in front
+of a :class:`~repro.serve.service.RecommendationService` and drains it
+from a background worker thread in **adaptive micro-batches**:
+
+* **Admission / overload.**  :meth:`ServingRuntime.submit` enqueues one
+  request and returns an :class:`AsyncRequest` future.  When the queue
+  holds ``max_queue`` requests the submit is **shed** — it raises
+  :class:`OverloadError` immediately instead of growing an unbounded
+  backlog whose every entry would blow the latency SLO anyway.  Shed
+  counts are tracked on :class:`RuntimeStats` and reported as the
+  ``shed_rate`` column of the latency benchmark.
+* **Adaptive micro-batch sizing.**  The worker collects up to
+  ``batch_size`` queued requests per sweep.  Every ``window`` completed
+  requests it re-reads the recent p99 latency: while p99 is under
+  ``headroom * slo_ms`` the batch grows multiplicatively (amortizing
+  per-sweep overhead → more throughput), and once p99 crosses the SLO
+  it shrinks multiplicatively (smaller sweeps → lower queueing delay).
+  The batch size always stays inside ``[min_batch, max_batch]``.
+* **Latency breakdown.**  Each request records wall-clock queue wait
+  and in-batch service time; the service underneath accumulates index
+  sweep seconds (``ServiceStats.sweep_s``) and — when serving a sharded
+  snapshot — the router splits its time into gather/score/merge
+  (:class:`~repro.serve.router.RouterStats`).  :meth:`ServingRuntime.breakdown`
+  stitches the three layers into one per-request view.
+
+The runtime never changes *what* is served: results are exactly the
+service's ``recommend`` answers, so every parity/caching contract of
+the layers below carries through unchanged.  The full contract is
+documented in ``docs/serving.md``; the closed-loop load generator in
+:mod:`repro.experiments.perf` (``repro perf-latency``) sweeps offered
+load through this runtime until saturation and commits the
+``BENCH_latency.json`` frontier.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import queue
+import threading
+import time
+
+import numpy as np
+
+__all__ = ["OverloadError", "RuntimeConfig", "RuntimeStats", "AsyncRequest",
+           "ServingRuntime", "latency_percentile"]
+
+
+class OverloadError(RuntimeError):
+    """Raised by ``submit`` when the bounded admission queue is full."""
+
+
+def latency_percentile(samples, q: float) -> float:
+    """Linear-interpolated percentile of a sample sequence.
+
+    Returns ``0.0`` for an empty sequence so benchmark columns stay
+    finite even for levels where nothing completed.
+    """
+    if len(samples) == 0:
+        return 0.0
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
+
+
+@dataclasses.dataclass
+class RuntimeConfig:
+    """Knobs of the admission queue and the batch-size controller.
+
+    ``slo_ms`` is a **p99 target** over the most recent ``window``
+    completed requests — tail latency, not the mean, because heavy
+    traffic is judged by its slowest percentile.
+    """
+
+    #: p99 latency target (enqueue → result ready), milliseconds
+    slo_ms: float = 50.0
+    #: admission-queue bound; a full queue sheds instead of growing
+    max_queue: int = 1024
+    #: micro-batch size limits and starting point
+    min_batch: int = 1
+    max_batch: int = 256
+    initial_batch: int = 8
+    #: completed requests between batch-size adaptations (also the
+    #: sliding-window length of the controller's p99 estimate)
+    window: int = 64
+    #: grow the batch while recent p99 < headroom * slo_ms
+    headroom: float = 0.7
+    #: multiplicative batch growth / shrink factors
+    grow: float = 2.0
+    shrink: float = 0.5
+    #: idle worker poll interval, milliseconds
+    poll_ms: float = 0.2
+
+    def __post_init__(self):
+        if self.slo_ms <= 0:
+            raise ValueError(f"slo_ms must be positive, got {self.slo_ms}")
+        if self.max_queue <= 0:
+            raise ValueError(f"max_queue must be positive, "
+                             f"got {self.max_queue}")
+        if not 0 < self.min_batch <= self.max_batch:
+            raise ValueError(f"need 0 < min_batch <= max_batch, got "
+                             f"[{self.min_batch}, {self.max_batch}]")
+        if not self.min_batch <= self.initial_batch <= self.max_batch:
+            raise ValueError(f"initial_batch {self.initial_batch} outside "
+                             f"[{self.min_batch}, {self.max_batch}]")
+        if self.window <= 0:
+            raise ValueError(f"window must be positive, got {self.window}")
+        if not 0 < self.headroom <= 1:
+            raise ValueError(f"headroom must lie in (0, 1], "
+                             f"got {self.headroom}")
+        if self.grow <= 1 or not 0 < self.shrink < 1:
+            raise ValueError(f"need grow > 1 and 0 < shrink < 1, got "
+                             f"grow={self.grow}, shrink={self.shrink}")
+        if self.poll_ms <= 0:
+            raise ValueError(f"poll_ms must be positive, got {self.poll_ms}")
+
+
+@dataclasses.dataclass
+class RuntimeStats:
+    """Lifetime counters of one runtime (feeds ``BENCH_latency.json``).
+
+    ``queue_s`` / ``service_s`` are **per-request sums**: each completed
+    request contributes its own queue wait and its batch's execution
+    time, so dividing by ``completed`` gives the mean per-request
+    breakdown terms.
+    """
+
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    batches: int = 0
+    queue_s: float = 0.0
+    service_s: float = 0.0
+    grows: int = 0
+    shrinks: int = 0
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered requests refused at admission."""
+        offered = self.admitted + self.rejected
+        return self.rejected / offered if offered else 0.0
+
+    @property
+    def mean_batch(self) -> float:
+        """Mean requests per executed micro-batch."""
+        return self.completed / self.batches if self.batches else 0.0
+
+
+class AsyncRequest:
+    """Future-like handle for one admitted request.
+
+    ``result()`` blocks until the worker thread publishes the
+    :class:`~repro.serve.service.Recommendation` (or re-raises the
+    worker-side error).  Timestamps are ``time.perf_counter()`` values
+    stamped by the runtime; the ``*_ms`` properties expose the
+    per-request latency breakdown once the request finished.
+    """
+
+    __slots__ = ("user_id", "k", "filter_seen", "enqueued_at", "started_at",
+                 "finished_at", "_event", "_result", "_error")
+
+    def __init__(self, user_id: int, k: int, filter_seen: bool):
+        self.user_id = user_id
+        self.k = k
+        self.filter_seen = filter_seen
+        self.enqueued_at: float | None = None
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self._event = threading.Event()
+        self._result = None
+        self._error: BaseException | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None):
+        """The finished recommendation (blocks up to ``timeout`` s)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"request for user {self.user_id} still "
+                               f"pending after {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    @property
+    def queue_ms(self) -> float:
+        """Admission-to-batch-start wait (0.0 until started)."""
+        if self.started_at is None or self.enqueued_at is None:
+            return 0.0
+        return 1e3 * (self.started_at - self.enqueued_at)
+
+    @property
+    def service_ms(self) -> float:
+        """Batch execution time of the sweep that served this request."""
+        if self.finished_at is None or self.started_at is None:
+            return 0.0
+        return 1e3 * (self.finished_at - self.started_at)
+
+    @property
+    def latency_ms(self) -> float:
+        """End-to-end enqueue → result latency (0.0 until finished)."""
+        if self.finished_at is None or self.enqueued_at is None:
+            return 0.0
+        return 1e3 * (self.finished_at - self.enqueued_at)
+
+
+class ServingRuntime:
+    """Bounded-queue, SLO-batched front end over a recommendation service.
+
+    Parameters
+    ----------
+    service:
+        Any :class:`~repro.serve.service.RecommendationService`
+        (sharded or not).  The runtime owns request admission and
+        batching; the service keeps owning caching and index sweeps.
+    config:
+        :class:`RuntimeConfig`; defaults target a 50 ms p99.
+
+    Use as a context manager (or call :meth:`start` / :meth:`stop`)::
+
+        with ServingRuntime(service, RuntimeConfig(slo_ms=25.0)) as rt:
+            handles = [rt.submit(u, k=10) for u in users]
+            lists = [h.result(timeout=5.0) for h in handles]
+
+    ``stop()`` drains every already-admitted request before the worker
+    exits, so accepted work is never silently dropped.
+    """
+
+    def __init__(self, service, config: RuntimeConfig | None = None):
+        self.service = service
+        self.config = config or RuntimeConfig()
+        self.stats = RuntimeStats()
+        self.batch_size = self.config.initial_batch
+        self._queue: queue.Queue = queue.Queue(maxsize=self.config.max_queue)
+        self._latencies: collections.deque = collections.deque(
+            maxlen=self.config.window)
+        self._since_adapt = 0
+        self._stop = threading.Event()
+        self._worker: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._worker is not None and self._worker.is_alive()
+
+    def start(self) -> "ServingRuntime":
+        """Spawn the worker thread (idempotent while running)."""
+        if not self.running:
+            self._stop.clear()
+            self._worker = threading.Thread(target=self._run,
+                                            name="serving-runtime",
+                                            daemon=True)
+            self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain admitted requests, then join the worker (idempotent)."""
+        if self._worker is None:
+            return
+        self._stop.set()
+        self._worker.join()
+        self._worker = None
+
+    def __enter__(self) -> "ServingRuntime":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, user_id: int, k: int = 10,
+               filter_seen: bool = True) -> AsyncRequest:
+        """Admit one request, or shed it with :class:`OverloadError`.
+
+        Sheds *immediately* when the queue is at ``max_queue`` — the
+        explicit overload contract: a caller sees backpressure at
+        submit time rather than a result that silently missed the SLO
+        after minutes in an unbounded backlog.
+        """
+        request = AsyncRequest(user_id, k, filter_seen)
+        request.enqueued_at = time.perf_counter()
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self.stats.rejected += 1
+            raise OverloadError(
+                f"admission queue full ({self.config.max_queue} pending); "
+                f"request for user {user_id} shed") from None
+        self.stats.admitted += 1
+        return request
+
+    @property
+    def pending(self) -> int:
+        """Admitted requests not yet picked up by the worker."""
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def latency_quantiles(self, qs=(50.0, 99.0)) -> dict:
+        """Recent-window latency quantiles, e.g. ``{"p50_ms": ...}``."""
+        samples = list(self._latencies)
+        return {f"p{q:g}_ms": latency_percentile(samples, q) for q in qs}
+
+    def breakdown(self) -> dict:
+        """Mean per-request queue/batch/score/merge decomposition (ms).
+
+        ``queue_ms`` / ``service_ms`` come from this runtime's own
+        counters, ``sweep_ms`` from the service's index-sweep clock, and
+        — when the service routes a sharded snapshot — the router's
+        gather/score/merge split is appended per sweep.
+        """
+        n = max(self.stats.completed, 1)
+        out = {
+            "queue_ms": 1e3 * self.stats.queue_s / n,
+            "service_ms": 1e3 * self.stats.service_s / n,
+            "sweep_ms": self.service.stats.sweep_ms_per_sweep,
+            "mean_batch": self.stats.mean_batch,
+            "batch_size": self.batch_size,
+        }
+        router = getattr(self.service, "router_stats", None)
+        if router is not None:
+            sweeps = max(router.sweeps, 1)
+            out.update({
+                "gather_ms": 1e3 * router.gather_s / sweeps,
+                "score_ms": 1e3 * router.score_s / sweeps,
+                "merge_ms": 1e3 * router.merge_s / sweeps,
+            })
+        return out
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            batch = self._collect_batch()
+            if batch:
+                self._execute(batch)
+            elif self._stop.is_set():
+                return
+
+    def _collect_batch(self) -> list[AsyncRequest]:
+        """Up to ``batch_size`` queued requests; [] after an idle poll."""
+        try:
+            first = self._queue.get(timeout=1e-3 * self.config.poll_ms)
+        except queue.Empty:
+            return []
+        batch = [first]
+        while len(batch) < self.batch_size:
+            try:
+                batch.append(self._queue.get_nowait())
+            except queue.Empty:
+                break
+        return batch
+
+    def _execute(self, batch: list[AsyncRequest]) -> None:
+        started = time.perf_counter()
+        groups: dict[tuple[int, bool], list[AsyncRequest]] = {}
+        for request in batch:
+            groups.setdefault((request.k, request.filter_seen),
+                              []).append(request)
+        for (k, filter_seen), members in groups.items():
+            try:
+                answers = self.service.recommend(
+                    [m.user_id for m in members], k=k,
+                    filter_seen=filter_seen)
+            except BaseException as exc:  # propagate to every waiter
+                answers = None
+                for member in members:
+                    member._error = exc
+            if answers is not None:
+                for member, answer in zip(members, answers):
+                    member._result = answer
+        finished = time.perf_counter()
+        self.stats.batches += 1
+        self.stats.completed += len(batch)
+        for request in batch:
+            request.started_at = started
+            request.finished_at = finished
+            self.stats.queue_s += started - request.enqueued_at
+            self.stats.service_s += finished - started
+            self._latencies.append(request.latency_ms)
+            request._event.set()
+        self._since_adapt += len(batch)
+        if self._since_adapt >= self.config.window:
+            self._adapt()
+
+    def _adapt(self) -> None:
+        """One batch-size controller step from the recent-window p99."""
+        self._since_adapt = 0
+        config = self.config
+        p99 = latency_percentile(list(self._latencies), 99.0)
+        if p99 > config.slo_ms and self.batch_size > config.min_batch:
+            self.batch_size = max(config.min_batch,
+                                  int(self.batch_size * config.shrink))
+            self.stats.shrinks += 1
+        elif (p99 < config.headroom * config.slo_ms
+              and self.batch_size < config.max_batch):
+            self.batch_size = min(config.max_batch,
+                                  max(self.batch_size + 1,
+                                      int(self.batch_size * config.grow)))
+            self.stats.grows += 1
+
+    def __repr__(self) -> str:
+        return (f"ServingRuntime(running={self.running}, "
+                f"batch_size={self.batch_size}, pending={self.pending}, "
+                f"slo_ms={self.config.slo_ms}, "
+                f"shed_rate={self.stats.shed_rate:.2%})")

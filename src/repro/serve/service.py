@@ -19,6 +19,7 @@ serving stack.  It adds two things on top of an index:
 from __future__ import annotations
 
 import dataclasses
+import time
 from collections import OrderedDict
 
 import numpy as np
@@ -47,18 +48,41 @@ class Recommendation:
 
 @dataclasses.dataclass
 class ServiceStats:
-    """Lifetime counters (exported into the serve benchmark payload)."""
+    """Lifetime counters (exported into the serve benchmark payload).
+
+    ``requests`` counts **client-facing** calls only: one per
+    :meth:`RecommendationService.recommend` call and one per
+    :meth:`RecommendationService.submit`.  The internal batched sweeps a
+    ``flush()`` issues do not bump it.  Every user slot of every request
+    lands in exactly one of ``cache_hits`` / ``cache_misses`` —
+    including in-batch duplicates, which tally as hits — so
+    ``cache_hits + cache_misses == users_served`` always holds and
+    ``hit_rate`` describes the same population as ``users_served``.
+
+    ``sweep_s`` accumulates wall-clock seconds spent inside the
+    underlying index's ``topk`` sweeps — the "batch" term of the
+    serving-runtime latency breakdown (queue wait lives on
+    :class:`~repro.serve.runtime.RuntimeStats`, scatter/score/merge on
+    :class:`~repro.serve.router.RouterStats`).
+    """
 
     requests: int = 0
     users_served: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     index_sweeps: int = 0
+    sweep_s: float = 0.0
 
     @property
     def hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def sweep_ms_per_sweep(self) -> float:
+        """Mean wall-clock per index sweep (0.0 before any sweep ran)."""
+        return 1e3 * self.sweep_s / self.index_sweeps \
+            if self.index_sweeps else 0.0
 
 
 class LRUCache:
@@ -176,16 +200,32 @@ class RecommendationService:
         slices.  Results come back in input order (duplicate user ids
         each get their own entry).
         """
-        users = np.atleast_1d(np.asarray(user_ids, dtype=np.int64))
         self.stats.requests += 1
-        self.stats.users_served += len(users)
+        return self._serve(np.atleast_1d(np.asarray(user_ids,
+                                                    dtype=np.int64)),
+                           k, filter_seen)
+
+    def _serve(self, users: np.ndarray, k: int,
+               filter_seen: bool) -> list[Recommendation]:
+        """Answer one prepared user batch (no ``requests`` bump).
+
+        Shared by :meth:`recommend` (which counts the client call) and
+        :meth:`flush` (whose client calls were already counted at
+        ``submit`` time), so internal flush groups cannot inflate the
+        request counter.
+        """
+        order = users.tolist()
+        self.stats.users_served += len(order)
         results: dict[int, Recommendation] = {}
         misses: list[int] = []
-        seen_users: set[int] = set()
-        for user in users.tolist():
-            if user in seen_users:
+        queued: set[int] = set()
+        for user in order:
+            if user in results or user in queued:
+                # In-batch duplicate: answered from the first
+                # occurrence's result with no extra index work — a hit,
+                # so hits + misses always reconciles with users_served.
+                self.stats.cache_hits += 1
                 continue
-            seen_users.add(user)
             cached = self.cache.get(self._key(user, k, filter_seen))
             if cached is not None:
                 self.stats.cache_hits += 1
@@ -195,10 +235,13 @@ class RecommendationService:
                     snapshot_version=self.snapshot.version, from_cache=True)
             else:
                 self.stats.cache_misses += 1
+                queued.add(user)
                 misses.append(user)
         for lo in range(0, len(misses), self.max_batch):
             batch = np.asarray(misses[lo:lo + self.max_batch], dtype=np.int64)
+            sweep_start = time.perf_counter()
             top = self.index.topk(batch, k=k, filter_seen=filter_seen)
+            self.stats.sweep_s += time.perf_counter() - sweep_start
             self.stats.index_sweeps += 1
             for row, user in enumerate(batch.tolist()):
                 items = top.items[row].copy()
@@ -214,7 +257,18 @@ class RecommendationService:
                 results[user] = Recommendation(
                     user_id=user, items=items, scores=scores,
                     snapshot_version=self.snapshot.version)
-        return [results[user] for user in users.tolist()]
+        out: list[Recommendation] = []
+        emitted: set[int] = set()
+        for user in order:
+            rec = results[user]
+            if user in emitted and not rec.from_cache:
+                # Duplicate of an in-batch miss: served from the first
+                # occurrence's freshly computed lists, which is a cache
+                # hit from this slot's point of view.
+                rec = dataclasses.replace(rec, from_cache=True)
+            emitted.add(user)
+            out.append(rec)
+        return out
 
     def recommend_one(self, user_id: int, k: int = 10,
                       filter_seen: bool = True) -> Recommendation:
@@ -231,8 +285,11 @@ class RecommendationService:
         Returns a :class:`PendingRequest` whose ``result()`` forces a
         flush if needed — so callers can fire off a burst of submits and
         then read results, paying one index sweep instead of a sweep per
-        user.
+        user.  Each submit counts as one client request in
+        :attr:`stats`; the flush that later executes it does not count
+        again.
         """
+        self.stats.requests += 1
         request = PendingRequest(self, user_id, k, filter_seen)
         self._pending.append(request)
         if len(self._pending) >= self.max_batch:
@@ -249,8 +306,9 @@ class RecommendationService:
             groups.setdefault((request.k, request.filter_seen),
                               []).append(request)
         for (k, filter_seen), members in groups.items():
-            answers = self.recommend([m.user_id for m in members], k=k,
-                                     filter_seen=filter_seen)
+            answers = self._serve(
+                np.asarray([m.user_id for m in members], dtype=np.int64),
+                k, filter_seen)
             for member, answer in zip(members, answers):
                 member._result = answer
 

@@ -137,6 +137,15 @@ class TestMakefileAndScripts:
         assert "perf-train" in makefile
         assert (REPO_ROOT / "benchmarks" / "train_perf.py").is_file()
 
+    def test_bench_latency_target_and_verb_exist(self):
+        """The latency-frontier entry points are wired end to end."""
+        assert "bench-latency" in _make_targets()
+        assert "perf-latency" in _cli_verbs()
+        makefile = (REPO_ROOT / "Makefile").read_text()
+        assert "perf-latency" in makefile
+        assert (REPO_ROOT / "benchmarks" / "latency_perf.py").is_file()
+        assert (REPO_ROOT / "BENCH_latency.json").is_file()
+
     def test_verify_wires_bench_check(self):
         makefile = (REPO_ROOT / "Makefile").read_text()
         assert "bench-check" in makefile

@@ -1,0 +1,256 @@
+"""ServingRuntime: admission, shedding, adaptive batching, breakdown."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (AsyncRequest, ExactTopKIndex, OverloadError,
+                         RecommendationService, RuntimeConfig, RuntimeStats,
+                         ServingRuntime, ShardedRecommendationService,
+                         export_sharded_snapshot)
+
+
+@pytest.fixture()
+def service(tiny_mf_snapshot):
+    _, snapshot = tiny_mf_snapshot
+    return RecommendationService(snapshot)
+
+
+def fast_config(**overrides):
+    """Small queue/window so tests exercise the controller quickly."""
+    defaults = dict(slo_ms=50.0, max_queue=64, initial_batch=4,
+                    max_batch=32, window=8)
+    defaults.update(overrides)
+    return RuntimeConfig(**defaults)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("bad", [
+        dict(slo_ms=0.0), dict(slo_ms=-1.0), dict(max_queue=0),
+        dict(min_batch=0), dict(min_batch=8, max_batch=4),
+        dict(initial_batch=0), dict(initial_batch=512),
+        dict(window=0), dict(headroom=0.0), dict(headroom=1.5),
+        dict(grow=1.0), dict(shrink=1.0), dict(shrink=0.0),
+        dict(poll_ms=0.0),
+    ])
+    def test_bad_knobs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            RuntimeConfig(**bad)
+
+    def test_defaults_valid(self):
+        config = RuntimeConfig()
+        assert config.min_batch <= config.initial_batch <= config.max_batch
+
+
+class TestSubmitAndResults:
+    def test_results_match_direct_recommend(self, tiny_mf_snapshot, service):
+        _, snapshot = tiny_mf_snapshot
+        users = list(range(12))
+        with ServingRuntime(service, fast_config()) as runtime:
+            handles = [runtime.submit(u, k=7) for u in users]
+            results = [h.result(timeout=10.0) for h in handles]
+        want = ExactTopKIndex(snapshot).topk(np.array(users), k=7)
+        for row, rec in enumerate(results):
+            assert rec.user_id == users[row]
+            np.testing.assert_array_equal(rec.items, want.items[row])
+            np.testing.assert_array_equal(rec.scores, want.scores[row])
+
+    def test_mixed_request_shapes_grouped(self, service):
+        with ServingRuntime(service, fast_config()) as runtime:
+            a = runtime.submit(0, k=3)
+            b = runtime.submit(1, k=9)
+            c = runtime.submit(2, k=3, filter_seen=False)
+            assert len(a.result(timeout=10.0).items) == 3
+            assert len(b.result(timeout=10.0).items) == 9
+            assert len(c.result(timeout=10.0).items) == 3
+
+    def test_stats_count_admitted_and_completed(self, service):
+        with ServingRuntime(service, fast_config()) as runtime:
+            handles = [runtime.submit(u, k=5) for u in range(20)]
+            for handle in handles:
+                handle.result(timeout=10.0)
+        stats = runtime.stats
+        assert stats.admitted == 20 and stats.completed == 20
+        assert stats.rejected == 0 and stats.shed_rate == 0.0
+        assert 0 < stats.batches <= 20
+        assert stats.mean_batch == pytest.approx(20 / stats.batches)
+
+    def test_request_timestamps_and_latency(self, service):
+        with ServingRuntime(service, fast_config()) as runtime:
+            handle = runtime.submit(3, k=5)
+            handle.result(timeout=10.0)
+        assert handle.done
+        assert handle.enqueued_at <= handle.started_at <= handle.finished_at
+        assert handle.latency_ms >= handle.service_ms >= 0.0
+        assert handle.latency_ms == pytest.approx(
+            handle.queue_ms + handle.service_ms)
+
+    def test_unfinished_request_reports_zero_latency(self):
+        request = AsyncRequest(0, 10, True)
+        assert not request.done
+        assert request.queue_ms == request.service_ms == 0.0
+        assert request.latency_ms == 0.0
+
+    def test_result_timeout_raises(self, service):
+        runtime = ServingRuntime(service, fast_config())  # never started
+        handle = runtime.submit(0, k=5)
+        with pytest.raises(TimeoutError):
+            handle.result(timeout=0.01)
+
+    def test_worker_error_propagates_to_waiters(self, service):
+        with ServingRuntime(service, fast_config()) as runtime:
+            handle = runtime.submit(10 ** 9, k=5)  # out-of-range user id
+            with pytest.raises(ValueError):
+                handle.result(timeout=10.0)
+
+
+class TestOverload:
+    def test_full_queue_sheds_with_overload_error(self, service):
+        runtime = ServingRuntime(service, fast_config(max_queue=4))
+        for u in range(4):
+            runtime.submit(u, k=5)
+        with pytest.raises(OverloadError, match="shed"):
+            runtime.submit(99, k=5)
+        assert runtime.stats.rejected == 1
+        assert runtime.stats.shed_rate == pytest.approx(0.2)
+        runtime.start()
+        runtime.stop()
+        assert runtime.stats.completed == 4  # shed request never served
+
+    def test_shed_rate_zero_without_traffic(self):
+        assert RuntimeStats().shed_rate == 0.0
+        assert RuntimeStats().mean_batch == 0.0
+
+
+class TestLifecycle:
+    def test_stop_drains_admitted_requests(self, service):
+        runtime = ServingRuntime(service, fast_config())
+        handles = [runtime.submit(u, k=5) for u in range(10)]
+        runtime.start()
+        runtime.stop()
+        assert all(h.done for h in handles)
+        assert runtime.pending == 0
+        assert not runtime.running
+
+    def test_start_stop_idempotent(self, service):
+        runtime = ServingRuntime(service, fast_config())
+        runtime.start()
+        runtime.start()
+        assert runtime.running
+        runtime.stop()
+        runtime.stop()
+        assert not runtime.running
+
+    def test_restart_after_stop(self, service):
+        runtime = ServingRuntime(service, fast_config())
+        with runtime:
+            runtime.submit(0, k=5).result(timeout=10.0)
+        with runtime:
+            runtime.submit(1, k=5).result(timeout=10.0)
+        assert runtime.stats.completed == 2
+
+    def test_repr_mentions_state(self, service):
+        runtime = ServingRuntime(service, fast_config())
+        assert "running=False" in repr(runtime)
+        assert "slo_ms=50.0" in repr(runtime)
+
+
+class TestAdaptiveBatching:
+    def test_batch_grows_under_slo_headroom(self, service):
+        """A fast service leaves p99 far under the SLO: the controller
+        must grow the batch multiplicatively toward max_batch."""
+        config = fast_config(slo_ms=10_000.0, initial_batch=2, max_batch=32,
+                             window=4)
+        with ServingRuntime(service, config) as runtime:
+            for u in range(40):
+                runtime.submit(u % 50, k=5).result(timeout=10.0)
+        assert runtime.stats.grows > 0
+        assert runtime.batch_size > config.initial_batch
+
+    def test_batch_shrinks_when_slo_violated(self, service):
+        """An impossibly tight SLO forces shrink toward min_batch."""
+        config = fast_config(slo_ms=1e-6, initial_batch=16, min_batch=1,
+                             window=4)
+        with ServingRuntime(service, config) as runtime:
+            handles = [runtime.submit(u % 50, k=5) for u in range(40)]
+            for handle in handles:
+                handle.result(timeout=10.0)
+        assert runtime.stats.shrinks > 0
+        assert runtime.batch_size < 16
+
+    def test_batch_stays_within_bounds(self, service):
+        config = fast_config(slo_ms=10_000.0, initial_batch=2, max_batch=8,
+                             window=2)
+        with ServingRuntime(service, config) as runtime:
+            handles = [runtime.submit(u % 50, k=5) for u in range(60)]
+            for handle in handles:
+                handle.result(timeout=10.0)
+        assert config.min_batch <= runtime.batch_size <= config.max_batch
+
+    def test_adaptation_counters_exposed(self, service):
+        with ServingRuntime(service, fast_config(window=4)) as runtime:
+            for u in range(12):
+                runtime.submit(u, k=5).result(timeout=10.0)
+        assert runtime.stats.grows + runtime.stats.shrinks >= 0
+        quantiles = runtime.latency_quantiles()
+        assert set(quantiles) == {"p50_ms", "p99_ms"}
+        assert all(v >= 0.0 for v in quantiles.values())
+
+
+class TestBreakdown:
+    def test_unsharded_breakdown_terms(self, service):
+        with ServingRuntime(service, fast_config()) as runtime:
+            handles = [runtime.submit(u, k=5) for u in range(16)]
+            for handle in handles:
+                handle.result(timeout=10.0)
+        breakdown = runtime.breakdown()
+        for term in ("queue_ms", "service_ms", "sweep_ms", "mean_batch",
+                     "batch_size"):
+            assert term in breakdown
+        assert breakdown["queue_ms"] >= 0.0
+        assert breakdown["service_ms"] > 0.0
+        assert breakdown["sweep_ms"] > 0.0
+        assert "gather_ms" not in breakdown  # no router underneath
+
+    def test_sharded_breakdown_includes_router_split(self, tiny_dataset,
+                                                     tiny_mf_snapshot,
+                                                     tmp_path):
+        model, _ = tiny_mf_snapshot
+        sharded = export_sharded_snapshot(model, tiny_dataset, tmp_path,
+                                          shards=3)
+        service = ShardedRecommendationService(sharded, cache_size=0)
+        with ServingRuntime(service, fast_config()) as runtime:
+            handles = [runtime.submit(u, k=5) for u in range(16)]
+            for handle in handles:
+                handle.result(timeout=10.0)
+        breakdown = runtime.breakdown()
+        for term in ("gather_ms", "score_ms", "merge_ms"):
+            assert term in breakdown
+            assert breakdown[term] >= 0.0
+
+    def test_concurrent_submitters_all_answered(self, service):
+        """Multiple client threads submitting at once: every request is
+        answered exactly once and counters stay consistent."""
+        errors = []
+
+        def client(runtime, base):
+            try:
+                handles = [runtime.submit((base + i) % 50, k=5)
+                           for i in range(10)]
+                for handle in handles:
+                    handle.result(timeout=10.0)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        with ServingRuntime(service, fast_config()) as runtime:
+            threads = [threading.Thread(target=client, args=(runtime, b))
+                       for b in (0, 10, 20)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        assert runtime.stats.completed == 30
+        assert runtime.stats.admitted == 30

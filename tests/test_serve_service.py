@@ -121,6 +121,83 @@ class TestMicroBatching:
         np.testing.assert_array_equal(via_queue.items, direct.items[0])
 
 
+class TestStatsAccounting:
+    """The reconciled ServiceStats contract: ``requests`` counts client
+    calls only, and every user slot lands in exactly one of
+    hits/misses — so ``cache_hits + cache_misses == users_served``."""
+
+    def test_requests_counts_client_calls_only(self, service):
+        service.recommend([0, 1, 2], k=5)
+        assert service.stats.requests == 1
+        for u in range(3):
+            service.submit(u + 10, k=5)
+        assert service.stats.requests == 4
+        service.flush()
+        assert service.stats.requests == 4  # flush is not a client call
+
+    def test_auto_flush_does_not_inflate_requests(self, tiny_mf_snapshot):
+        _, snapshot = tiny_mf_snapshot
+        service = RecommendationService(snapshot, max_batch=4)
+        for u in range(8):  # triggers two internal auto-flushes
+            service.submit(u, k=5)
+        assert service.stats.requests == 8
+
+    def test_mixed_shape_flush_counts_once_per_submit(self, service):
+        # One flush over two (k, filter_seen) groups used to bump
+        # `requests` once per group instead of zero times.
+        service.submit(0, k=3)
+        service.submit(1, k=8)
+        service.flush()
+        assert service.stats.requests == 2
+
+    def test_in_batch_duplicates_tally_as_hits(self, service):
+        service.recommend([2, 2, 2], k=5)
+        stats = service.stats
+        assert stats.users_served == 3
+        assert stats.cache_misses == 1 and stats.cache_hits == 2
+        assert stats.cache_hits + stats.cache_misses == stats.users_served
+
+    def test_duplicate_of_in_batch_miss_reports_from_cache(self, service):
+        first, dup = service.recommend([7, 7], k=5)
+        assert not first.from_cache
+        assert dup.from_cache
+        np.testing.assert_array_equal(first.items, dup.items)
+        np.testing.assert_array_equal(first.scores, dup.scores)
+
+    def test_duplicate_of_lru_hit_stays_from_cache(self, service):
+        service.recommend([4], k=5)
+        a, b = service.recommend([4, 4], k=5)
+        assert a.from_cache and b.from_cache
+
+    def test_counters_reconcile_across_mixed_traffic(self, service):
+        service.recommend([0], k=5)                # 1 miss
+        service.recommend([0, 1, 1, 2, 0], k=5)    # hit, miss, dup, miss, dup
+        stats = service.stats
+        assert stats.users_served == 6
+        assert stats.cache_misses == 3 and stats.cache_hits == 3
+        assert stats.cache_hits + stats.cache_misses == stats.users_served
+        assert stats.hit_rate == 0.5
+
+    def test_duplicates_with_cache_disabled_still_reconcile(
+            self, tiny_mf_snapshot):
+        _, snapshot = tiny_mf_snapshot
+        service = RecommendationService(snapshot, cache_size=0)
+        results = service.recommend([3, 3], k=5)
+        stats = service.stats
+        # The in-batch dedup answers the second slot without a sweep
+        # even with the LRU off — still a hit in the tally.
+        assert stats.cache_hits == 1 and stats.cache_misses == 1
+        assert results[1].from_cache
+        assert stats.index_sweeps == 1
+
+    def test_sweep_clock_accumulates(self, service):
+        assert service.stats.sweep_ms_per_sweep == 0.0
+        service.recommend([0, 1], k=5)
+        assert service.stats.index_sweeps == 1
+        assert service.stats.sweep_s > 0.0
+        assert service.stats.sweep_ms_per_sweep > 0.0
+
+
 class TestVersionKeying:
     def test_new_snapshot_version_never_reuses_cache(self, tiny_dataset,
                                                      tmp_path):
@@ -191,3 +268,68 @@ class TestLRUCache:
     def test_negative_capacity_rejected(self):
         with pytest.raises(ValueError):
             LRUCache(-1)
+
+    def test_eviction_order_under_mixed_get_put(self):
+        cache = LRUCache(3)
+        for key in "abc":
+            cache.put(key, key.upper())
+        assert cache.get("a") == "A"      # order now b, c, a
+        cache.put("b", "B2")              # refresh b -> c, a, b
+        cache.put("d", "D")               # evicts c
+        assert cache.get("c") is None
+        assert cache.get("b") == "B2"     # refreshed value survived
+        cache.put("e", "E")               # evicts a (oldest after gets)
+        assert cache.get("a") is None
+        assert cache.get("d") == "D" and cache.get("e") == "E"
+        assert len(cache) == 3
+
+    def test_put_refreshes_existing_key_without_growth(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert len(cache) == 1 and cache.get("a") == 2
+
+    def test_clear_empties(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0 and cache.get("a") is None
+
+    def test_zero_capacity_service_submit_flush(self, tiny_mf_snapshot):
+        """cache_size=0 must not break the micro-batched path."""
+        _, snapshot = tiny_mf_snapshot
+        service = RecommendationService(snapshot, cache_size=0, max_batch=8)
+        handles = [service.submit(u, k=5) for u in range(3)]
+        service.flush()
+        assert all(h.done for h in handles)
+        assert len(service.cache) == 0
+        # A repeat of the same users sweeps again: nothing was cached.
+        service.submit(0, k=5).result()
+        assert service.stats.index_sweeps == 2
+        assert service.stats.cache_hits == 0
+
+
+class TestPendingRequestLifecycle:
+    def test_result_after_unrelated_submit_flushed(self, tiny_mf_snapshot):
+        """A handle executed by *someone else's* auto-flush must resolve
+        from its stored result, not force another flush."""
+        _, snapshot = tiny_mf_snapshot
+        service = RecommendationService(snapshot, max_batch=2, cache_size=0)
+        first = service.submit(0, k=5)
+        assert not first.done
+        service.submit(1, k=5)  # hits max_batch -> flushes both
+        assert first.done and service.pending == 0
+        rec = first.result()
+        assert rec.user_id == 0
+        assert service.stats.index_sweeps == 1  # result() swept nothing
+
+    def test_result_unaffected_by_later_pending_traffic(self,
+                                                        tiny_mf_snapshot):
+        _, snapshot = tiny_mf_snapshot
+        service = RecommendationService(snapshot, max_batch=4, cache_size=0)
+        handle = service.submit(2, k=5)
+        service.flush()
+        service.submit(3, k=5)  # unrelated, still pending
+        rec = handle.result()
+        assert rec.user_id == 2
+        assert service.pending == 1  # resolving did not flush the newcomer

@@ -404,3 +404,189 @@ class TestShardedCLI:
                    "--index", "quantized"])
         assert rc == 0
         assert "sharded-quantized" in capsys.readouterr().out
+
+
+class TestConcurrentFanout:
+    """Thread-pool shard fan-out must stay bit-identical to sequential.
+
+    The pool maps over the shard list in order and each shard's scores
+    come from the same fixed-shape panel kernels regardless of which
+    thread runs them, so the merge consumes identical partials in an
+    identical order — pinned here for workers > available cores too.
+    """
+
+    @pytest.fixture(scope="class")
+    def tiny_sharded(self, tiny_cell, tmp_path_factory):
+        model, dataset, _ = tiny_cell
+        out = tmp_path_factory.mktemp("tiny-fanout")
+        return export_sharded_snapshot(model, dataset, out, shards=3)
+
+    @pytest.mark.parametrize("workers", (2, 3, 8))
+    def test_bitwise_vs_sequential(self, tiny_cell, tiny_sharded, workers):
+        _, dataset, snapshot = tiny_cell
+        users = np.arange(dataset.num_users, dtype=np.int64)
+        sequential = ShardedTopKIndex(tiny_sharded, workers=1)
+        concurrent = ShardedTopKIndex(tiny_sharded, workers=workers)
+        reference = ExactTopKIndex(snapshot)
+        try:
+            for filter_seen in (True, False):
+                want = sequential.topk(users, k=10, filter_seen=filter_seen)
+                got = concurrent.topk(users, k=10, filter_seen=filter_seen)
+                np.testing.assert_array_equal(got.items, want.items)
+                np.testing.assert_array_equal(got.scores, want.scores)
+                flat = reference.topk(users, k=10, filter_seen=filter_seen)
+                np.testing.assert_array_equal(got.items, flat.items)
+                np.testing.assert_array_equal(got.scores, flat.scores)
+        finally:
+            concurrent.close()
+
+    def test_quantized_bitwise_concurrent(self, tiny_cell, tiny_sharded):
+        _, dataset, snapshot = tiny_cell
+        users = np.arange(dataset.num_users, dtype=np.int64)
+        want = QuantizedTopKIndex(snapshot).topk(users, k=10)
+        router = ShardedTopKIndex(tiny_sharded, kind="quantized", workers=3)
+        try:
+            got = router.topk(users, k=10)
+        finally:
+            router.close()
+        np.testing.assert_array_equal(got.items, want.items)
+        np.testing.assert_array_equal(got.scores, want.scores)
+
+    def test_ann_routed_bitwise_concurrent(self, tiny_cell, tiny_sharded,
+                                           tmp_path):
+        """Full-probe ANN candidates through the concurrent fan-out stay
+        bit-identical to the sequential ANN-routed path."""
+        from repro.ann import build_ann_index
+        _, dataset, snapshot = tiny_cell
+        built = build_ann_index(snapshot, tmp_path / "ann", nlist=4, seed=0)
+        users = np.arange(dataset.num_users, dtype=np.int64)
+        kwargs = dict(kind="exact", ann=built, ann_nprobe=4)
+        want = ShardedTopKIndex(tiny_sharded, workers=1, **kwargs
+                                ).topk(users, k=10)
+        router = ShardedTopKIndex(tiny_sharded, workers=2, **kwargs)
+        try:
+            got = router.topk(users, k=10)
+        finally:
+            router.close()
+        np.testing.assert_array_equal(got.items, want.items)
+        np.testing.assert_array_equal(got.scores, want.scores)
+
+    def test_default_workers_bounded_by_cpus(self, tiny_sharded):
+        import os
+        router = ShardedTopKIndex(tiny_sharded)
+        assert router.workers == min(3, os.cpu_count() or 1)
+
+    def test_negative_workers_rejected(self, tiny_sharded):
+        with pytest.raises(ValueError, match="workers"):
+            ShardedTopKIndex(tiny_sharded, workers=-1)
+
+    def test_pool_is_lazy_and_close_idempotent(self, tiny_sharded):
+        router = ShardedTopKIndex(tiny_sharded, workers=2)
+        assert router._pool is None  # nothing routed yet
+        router.close()               # close before first use is a no-op
+        router.topk(np.arange(4, dtype=np.int64), k=5)
+        assert router._pool is not None
+        router.close()
+        assert router._pool is None
+        # Router stays usable after close: next route reopens a pool.
+        router.topk(np.arange(4, dtype=np.int64), k=5)
+        assert router._pool is not None
+        router.close()
+        router.close()
+
+    def test_sequential_router_never_opens_pool(self, tiny_sharded):
+        router = ShardedTopKIndex(tiny_sharded, workers=1)
+        router.topk(np.arange(8, dtype=np.int64), k=5)
+        assert router._pool is None
+
+    def test_service_threads_workers_through(self, tiny_sharded):
+        service = ShardedRecommendationService(tiny_sharded, workers=2)
+        assert service.index.workers == 2
+        service.recommend([0, 1], k=5)
+        service.index.close()
+
+    def test_repr_shows_workers(self, tiny_sharded):
+        assert "workers=2" in repr(ShardedTopKIndex(tiny_sharded, workers=2))
+
+
+class TestMergeUnderflow:
+    """The `_merge_partials` underflow guard and the invariant that makes
+    it unreachable through contract-abiding routers."""
+
+    def test_narrow_partial_raises_instead_of_heap_crash(self):
+        from repro.serve.router import _merge_partials
+        # Two shards, each (wrongly) carrying a single column for k=3:
+        # 2 total candidates cannot fill 3 ranks.
+        partials = [
+            (np.array([[0]], dtype=np.int64), np.array([[1.0]])),
+            (np.array([[5]], dtype=np.int64), np.array([[0.5]])),
+        ]
+        with pytest.raises(ValueError, match="underflow"):
+            _merge_partials(partials, k=3)
+
+    def test_empty_partial_raises(self):
+        from repro.serve.router import _merge_partials
+        partials = [
+            (np.empty((1, 0), dtype=np.int64), np.empty((1, 0))),
+            (np.empty((1, 0), dtype=np.int64), np.empty((1, 0))),
+        ]
+        with pytest.raises(ValueError, match="underflow"):
+            _merge_partials(partials, k=1)
+
+    def test_contract_widths_cannot_underflow(self, tiny_cell, tmp_path):
+        """sum_s min(k, n_s) >= min(k, sum_s n_s): with k clipped to the
+        catalogue upstream, contract-abiding partials always fill k."""
+        model, dataset, _ = tiny_cell
+        sharded = export_sharded_snapshot(model, dataset, tmp_path,
+                                          shards=7)
+        router = ShardedTopKIndex(sharded)
+        sizes = [len(ix.shard) for ix in router.shard_indexes]
+        for k in (1, 5, min(sizes), max(sizes) + 1, dataset.num_items):
+            assert sum(min(k, n) for n in sizes) >= min(k, sum(sizes))
+            result = router.topk(np.arange(4, dtype=np.int64), k=k,
+                                 filter_seen=False)
+            assert result.items.shape[1] == min(k, dataset.num_items)
+
+    def test_ann_starved_shard_keeps_contract_width(self, tiny_cell,
+                                                    tmp_path):
+        """A shard owning fewer than k *candidates* must still pad its
+        partial to min(k, shard_size) columns — the candidate restriction
+        masks scores to -inf, it never narrows the partial."""
+        from repro.serve.index import scoring_ready_users
+        model, dataset, _ = tiny_cell
+        sharded = export_sharded_snapshot(model, dataset, tmp_path,
+                                          shards=3)
+        router = ShardedTopKIndex(sharded)
+        shard_index = router.shard_indexes[0]
+        owned = shard_index.shard.ids
+        assert len(owned) > 2
+        vectors = scoring_ready_users(
+            sharded.gather_user_rows(np.array([0], dtype=np.int64)),
+            sharded.scoring)
+        # Candidate CSR granting this user a single item of this shard.
+        cand_indptr = np.array([0, 1], dtype=np.int64)
+        cand_global = owned[:1].astype(np.int64)
+        k = 5
+        ids, scores = shard_index.partial_topk(vectors, k,
+                                               cand_indptr=cand_indptr,
+                                               cand_global=cand_global)
+        assert ids.shape == (1, min(k, len(owned)))
+        assert ids[0, 0] == cand_global[0]       # the one real candidate
+        assert np.isfinite(scores[0, 0])
+        assert np.all(np.isinf(scores[0, 1:]))   # padding, masked to -inf
+
+    def test_ann_low_probe_routing_never_underflows(self, tiny_cell,
+                                                    tmp_path):
+        """End to end: minimal-probe candidate routing over many shards
+        still merges full-width rankings for every user."""
+        from repro.ann import build_ann_index
+        model, dataset, snapshot = tiny_cell
+        sharded = export_sharded_snapshot(model, dataset,
+                                          tmp_path / "sharded", shards=7)
+        built = build_ann_index(snapshot, tmp_path / "ann", nlist=8,
+                                default_nprobe=1, seed=0)
+        router = ShardedTopKIndex(sharded, ann=built, ann_nprobe=1)
+        users = np.arange(dataset.num_users, dtype=np.int64)
+        for filter_seen in (True, False):
+            result = router.topk(users, k=10, filter_seen=filter_seen)
+            assert result.items.shape == (dataset.num_users, 10)
