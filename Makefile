@@ -8,13 +8,14 @@
 #   make bench-train   regenerate the training frontier (BENCH_train.json)
 #   make bench-ann     regenerate the ANN frontier (BENCH_ann.json)
 #   make bench-latency regenerate the tail-latency frontier (BENCH_latency.json)
+#   make bench-refresh regenerate the live-refresh churn sweep (BENCH_refresh.json)
 #   make docs-check    just the README/docs reference checker
 #   make bench-check   just the benchmark JSON schema validator
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify verify-slow test ci docs-check bench-check bench bench-train bench-ann bench-latency
+.PHONY: verify verify-slow test ci docs-check bench-check bench bench-train bench-ann bench-latency bench-refresh
 
 verify: docs-check bench-check
 	$(PYTHON) -m pytest -x -q
@@ -45,3 +46,6 @@ bench-ann:
 
 bench-latency:
 	$(PYTHON) -m repro.cli perf-latency --out BENCH_latency.json
+
+bench-refresh:
+	$(PYTHON) -m repro.cli perf-refresh --out BENCH_refresh.json

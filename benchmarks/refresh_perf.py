@@ -1,0 +1,29 @@
+"""Runnable live-refresh harness (not collected by pytest).
+
+Thin wrapper over :mod:`repro.experiments.perf` so the benchmark
+directory has a one-command entry point::
+
+    PYTHONPATH=src python benchmarks/refresh_perf.py [--out BENCH_refresh.json ...]
+
+Trains one (model, loss) cell, exports an embedding snapshot, builds an
+IVF index over it, then sweeps catalogue churn fractions: each level
+diffs a churned copy into a delta (:mod:`repro.serve.delta`), times
+in-memory delta replay, incremental IVF maintenance vs a from-scratch
+rebuild, and the atomic snapshot swap applied between micro-batches
+while a paced request stream is in flight, writing
+``BENCH_refresh.json`` (schema ``bsl-refresh-bench/v1``).  Equivalent
+to ``python -m repro.cli perf-refresh``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+if __name__ == "__main__":
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    src = repo_root / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    from repro.cli import main
+    raise SystemExit(main(["perf-refresh", *sys.argv[1:]]))

@@ -2,11 +2,11 @@
 """Bench-schema validator: the checked-in benchmark JSONs must not rot.
 
 Validates ``BENCH_fastpath.json``, ``BENCH_train.json``,
-``BENCH_serve.json``, ``BENCH_ann.json`` and ``BENCH_latency.json``
-against the schemas their generators declare
+``BENCH_serve.json``, ``BENCH_ann.json``, ``BENCH_latency.json`` and
+``BENCH_refresh.json`` against the schemas their generators declare
 (``bsl-fastpath-bench/v1``, ``bsl-train-bench/v1``,
 ``bsl-serve-bench/v2``, ``bsl-ann-bench/v1``,
-``bsl-latency-bench/v1``):
+``bsl-latency-bench/v1``, ``bsl-refresh-bench/v1``):
 
 * the top level must carry ``schema`` / ``created_unix`` / ``dataset`` /
   ``config`` / ``results`` and the schema string must match exactly;
@@ -18,8 +18,11 @@ against the schemas their generators declare
   the ANN frontier, where every ``ann`` row must carry the
   nlist/nprobe/recall/users_per_s columns; ``latency`` for the
   tail-latency frontier, where every row must carry the
-  offered_qps/achieved_qps/p50_ms/p99_ms/shed_rate columns) must be
-  present and its rows must carry the per-kind required fields;
+  offered_qps/achieved_qps/p50_ms/p99_ms/shed_rate columns;
+  ``refresh`` for the live-refresh churn sweep, where every row must
+  carry the churn_fraction/rows_changed/delta_apply_ms/ivf_update_ms/
+  ivf_rebuild_ms/swap_pause_ms/requests_during_swap/errors columns)
+  must be present and its rows must carry the per-kind required fields;
 * every number anywhere in the payload must be finite — a NaN or
   infinity in a throughput column means a broken timing run was
   committed.
@@ -46,6 +49,7 @@ EXPECTED = {
     "BENCH_serve.json": ("bsl-serve-bench/v2", {"serve", "serve_sharded"}),
     "BENCH_ann.json": ("bsl-ann-bench/v1", {"ann", "ann_baseline"}),
     "BENCH_latency.json": ("bsl-latency-bench/v1", {"latency"}),
+    "BENCH_refresh.json": ("bsl-refresh-bench/v1", {"refresh"}),
 }
 
 #: result kind -> fields every row of that kind must carry
@@ -72,6 +76,9 @@ REQUIRED_FIELDS = {
     "latency": {"index", "offered_qps", "achieved_qps", "p50_ms", "p99_ms",
                 "shed_rate", "k", "slo_ms", "mean_queue_ms",
                 "mean_service_ms"},
+    "refresh": {"churn_fraction", "rows_changed", "delta_apply_ms",
+                "ivf_update_ms", "ivf_rebuild_ms", "swap_pause_ms",
+                "requests_during_swap", "errors"},
 }
 
 _TOP_LEVEL = ("schema", "created_unix", "dataset", "config", "results")

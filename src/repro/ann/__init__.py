@@ -36,17 +36,17 @@ candidate prefilter.  See ``docs/ann.md`` for the full contract.
 
 from repro.ann.build import (ANN_INDEX_SCHEMA, AnnManifest, build_ann_index,
                              is_ann_index, load_ann_generator,
-                             load_ann_index)
+                             load_ann_index, save_ann_index)
 from repro.ann.ivf import (ANN_PANEL_WIDTH, IVFFlatIndex, IVFIndexData,
                            assign_lists, train_coarse_quantizer)
 from repro.ann.pq import (IVFPQIndex, ProductQuantizer, adc_lookup_tables,
-                          train_product_quantizer)
+                          carry_codes, train_product_quantizer)
 
 __all__ = [
-    "ANN_INDEX_SCHEMA", "AnnManifest", "build_ann_index", "load_ann_index",
-    "load_ann_generator", "is_ann_index",
+    "ANN_INDEX_SCHEMA", "AnnManifest", "build_ann_index", "save_ann_index",
+    "load_ann_index", "load_ann_generator", "is_ann_index",
     "ANN_PANEL_WIDTH", "IVFIndexData", "IVFFlatIndex",
     "train_coarse_quantizer", "assign_lists",
     "ProductQuantizer", "train_product_quantizer", "adc_lookup_tables",
-    "IVFPQIndex",
+    "carry_codes", "IVFPQIndex",
 ]

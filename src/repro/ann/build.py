@@ -36,8 +36,8 @@ from repro.serve.index import scoring_ready_items
 from repro.serve.snapshot import EmbeddingSnapshot, _content_version
 
 __all__ = ["ANN_INDEX_SCHEMA", "ANN_KINDS", "AnnManifest",
-           "build_ann_index", "load_ann_index", "load_ann_generator",
-           "is_ann_index"]
+           "build_ann_index", "save_ann_index", "load_ann_index",
+           "load_ann_generator", "is_ann_index"]
 
 #: Bump when the on-disk layout changes incompatibly.
 ANN_INDEX_SCHEMA = "bsl-ann-index/v1"
@@ -209,18 +209,70 @@ def build_ann_index(snapshot: EmbeddingSnapshot, out_dir, *,
         pq=pq_payload)
     manifest = dataclasses.replace(
         manifest, version=_ann_version(arrays, _identity(manifest)))
+    _write_index(out_dir, manifest, arrays)
+    return _make_index(manifest, data, arrays, snapshot)
 
+
+def _write_index(out_dir, manifest: AnnManifest, arrays: dict) -> None:
+    """Persist one ANN index directory (arrays + manifest)."""
     out_dir = pathlib.Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     for stale in _PQ_FILES.values():
         (out_dir / stale).unlink(missing_ok=True)
     for name, fname in _FILES.items():
         np.save(out_dir / fname, arrays[name])
-    if pq_payload is not None:
+    if manifest.pq is not None:
         for name, fname in _PQ_FILES.items():
             np.save(out_dir / fname, arrays[name])
     (out_dir / _MANIFEST).write_text(manifest.to_json() + "\n")
-    return _make_index(manifest, data, arrays, snapshot)
+
+
+def save_ann_index(index, out_dir) -> AnnManifest:
+    """Persist a live IVF(-PQ) serving index as an index directory.
+
+    The complement of :func:`build_ann_index` for indexes that were not
+    trained from scratch — typically the output of
+    :meth:`~repro.ann.ivf.IVFFlatIndex.refreshed` after a delta chain.
+    The directory round-trips through :func:`load_ann_index` against
+    the index's current snapshot.  ``train_iters`` and ``seed`` are
+    recorded as ``0``: an incrementally maintained index is a function
+    of its maintenance history, not of one k-means run.
+    """
+    if not isinstance(index, IVFFlatIndex):
+        raise TypeError(f"expected an IVF serving index, "
+                        f"got {type(index).__name__}")
+    data = index.data
+    arrays = {"centroids": data.centroids,
+              "list_indptr": data.list_indptr,
+              "list_items": data.list_items}
+    pq_payload = None
+    if isinstance(index, IVFPQIndex):
+        arrays["pq_codebooks"] = index.pq.codebooks
+        arrays["pq_codes"] = index.pq.codes
+        pq_payload = {"m": int(index.pq.m), "ks": int(index.pq.ks)}
+    m = index.snapshot.manifest
+    manifest = AnnManifest(
+        schema=ANN_INDEX_SCHEMA,
+        version="",
+        kind=index.kind,
+        snapshot_version=index.snapshot.version,
+        model=m.model,
+        dataset=m.dataset,
+        scoring=m.scoring,
+        dim=m.dim,
+        num_items=m.num_items,
+        num_users=m.num_users,
+        nlist=data.nlist,
+        spill=data.spill,
+        default_nprobe=data.default_nprobe,
+        panel_width=index.panel_width,
+        train_iters=0,
+        seed=0,
+        pq=pq_payload)
+    manifest = dataclasses.replace(
+        manifest, version=_ann_version(arrays, _identity(manifest)))
+    _write_index(out_dir, manifest, arrays)
+    return manifest
 
 
 def _make_index(manifest: AnnManifest, data: IVFIndexData,

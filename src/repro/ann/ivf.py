@@ -76,6 +76,16 @@ def train_coarse_quantizer(items_ready: np.ndarray, nlist: int,
                   rng=np.random.default_rng(seed))
 
 
+def _spill_owners(d: np.ndarray, spill: int) -> np.ndarray:
+    """``(n, spill)`` nearest-centroid indices per row of distances ``d``."""
+    if spill == 1:
+        return d.argmin(axis=1)[:, None]
+    part = np.argpartition(d, spill - 1, axis=1)[:, :spill]
+    order = np.take_along_axis(d, part, axis=1).argsort(
+        axis=1, kind="stable")
+    return np.take_along_axis(part, order, axis=1)
+
+
 def assign_lists(items_ready: np.ndarray, centroids: np.ndarray,
                  spill: int = 1) -> list[np.ndarray]:
     """Assign every item to its ``spill`` nearest centroids.
@@ -89,14 +99,7 @@ def assign_lists(items_ready: np.ndarray, centroids: np.ndarray,
     nlist = len(centroids)
     if not 1 <= spill <= nlist:
         raise ValueError(f"need 1 <= spill <= nlist={nlist}, got {spill}")
-    d = sq_dists(items_ready, centroids)
-    if spill == 1:
-        owners = d.argmin(axis=1)[:, None]
-    else:
-        part = np.argpartition(d, spill - 1, axis=1)[:, :spill]
-        order = np.take_along_axis(d, part, axis=1).argsort(
-            axis=1, kind="stable")
-        owners = np.take_along_axis(part, order, axis=1)
+    owners = _spill_owners(sq_dists(items_ready, centroids), spill)
     return [np.sort(np.flatnonzero((owners == c).any(axis=1))).astype(
         np.int64) for c in range(nlist)]
 
@@ -167,8 +170,10 @@ class IVFIndexData:
         #: probe signature -> (candidate ids asc, posting rows into
         #: ``list_items`` aligned with the ids)
         self._signatures: dict[bytes, tuple[np.ndarray, np.ndarray]] = {}
-        #: (signature, panel width) -> panel block for re-scoring
-        self._panels: dict[tuple[bytes, int], np.ndarray] = {}
+        #: (items token, signature, panel width) -> panel block
+        self._panels: dict[tuple, np.ndarray] = {}
+        #: token of the snapshot generation the cached panels belong to
+        self._panels_token: str | None = None
 
     @property
     def nlist(self) -> int:
@@ -214,7 +219,8 @@ class IVFIndexData:
         return hit
 
     def panels_for(self, clusters: tuple[int, ...], items_ready: np.ndarray,
-                   width: int) -> tuple[np.ndarray, np.ndarray]:
+                   width: int, token: str | None = None
+                   ) -> tuple[np.ndarray, np.ndarray]:
         """Candidate ids plus their fixed-width scoring panels.
 
         The panel block packs the signature's item rows (ascending
@@ -222,14 +228,161 @@ class IVFIndexData:
         :func:`~repro.serve.index.build_panels`, so every re-scoring
         GEMM has the same shape — the partition-invariance property the
         bit-parity contract rides on.
+
+        ``token`` must identify the *content* of ``items_ready``
+        (serving indexes pass their ``snapshot.version``): panels bake
+        item rows in, so an index data object shared across snapshot
+        generations — exactly what a live refresh produces — must never
+        serve a panel built from the previous generation's rows.
         """
         ids, _ = self.signature(clusters)
-        key = (np.asarray(clusters, dtype=np.int64).tobytes(), width)
+        if token != self._panels_token:
+            # a new generation took over: its predecessor's panels can
+            # never be served again, so reclaim their memory eagerly
+            self._panels.clear()
+            self._panels_token = token
+        key = (token, np.asarray(clusters, dtype=np.int64).tobytes(), width)
         panels = self._panels.get(key)
         if panels is None:
             panels = build_panels(items_ready[ids], width)
             self._panels[key] = panels
         return ids, panels
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (live-index refresh)
+    # ------------------------------------------------------------------
+    def updated(self, old_to_new: np.ndarray, added: np.ndarray,
+                items_ready: np.ndarray, num_items: int,
+                *, changed: np.ndarray | None = None,
+                spill: int | None = None
+                ) -> tuple["IVFIndexData", np.ndarray]:
+        """Posting-list insert/delete for one snapshot transition.
+
+        ``old_to_new`` maps every old dense item id to its new dense id
+        (``-1`` = deleted); ``added`` lists new dense ids with no old
+        counterpart; ``items_ready`` is the **new** generation's
+        scoring-ready item table (see
+        :func:`repro.serve.delta.item_transition`).  Surviving postings
+        are remapped in place — an upserted row *stays* in its old
+        lists, which is what the :meth:`staleness` meter measures —
+        deleted postings are dropped, and each added item is inserted
+        into its ``spill`` nearest centroids (default: this index's
+        spill factor).  Lists stay sorted ascending in new dense id.
+
+        Returns ``(data, code_map)`` where ``code_map[p]`` is the old
+        posting row that new posting ``p`` carries over, or ``-1`` if
+        the posting needs fresh PQ encoding (inserted items, plus any
+        ids in ``changed`` — surviving items whose embedding row moved,
+        which keeps their postings but invalidates their residuals).
+        """
+        old_to_new = np.asarray(old_to_new, dtype=np.int64)
+        if len(old_to_new) != self.num_items:
+            raise ValueError(f"old_to_new has {len(old_to_new)} entries for "
+                             f"{self.num_items} items")
+        added = np.asarray(added, dtype=np.int64)
+        items_ready = np.asarray(items_ready, dtype=np.float64)
+        if len(items_ready) != num_items:
+            raise ValueError(f"items_ready holds {len(items_ready)} rows "
+                             f"but num_items is {num_items}")
+        owner = np.repeat(np.arange(self.nlist, dtype=np.int64), self.sizes)
+        mapped = old_to_new[self.list_items]
+        keep = mapped >= 0
+        lists_all = owner[keep]
+        ids_all = mapped[keep]
+        src_all = np.flatnonzero(keep).astype(np.int64)
+        if len(added):
+            spill = max(1, self.spill) if spill is None else int(spill)
+            spill = min(spill, self.nlist)
+            owners = _spill_owners(
+                sq_dists(items_ready[added], self.centroids), spill)
+            lists_all = np.concatenate([lists_all, owners.ravel()])
+            ids_all = np.concatenate([ids_all,
+                                      np.repeat(added, owners.shape[1])])
+            src_all = np.concatenate([src_all,
+                                      np.full(owners.size, -1, np.int64)])
+        order = np.lexsort((ids_all, lists_all))
+        lists_all, ids_all = lists_all[order], ids_all[order]
+        code_map = src_all[order]
+        if changed is not None and len(changed):
+            code_map = np.where(
+                np.isin(ids_all, np.asarray(changed, dtype=np.int64)),
+                -1, code_map)
+        indptr = np.concatenate([
+            np.zeros(1, np.int64),
+            np.cumsum(np.bincount(lists_all, minlength=self.nlist))])
+        data = IVFIndexData(self.centroids, indptr, ids_all, num_items,
+                            self.default_nprobe)
+        return data, code_map
+
+    def staleness(self, items_ready: np.ndarray) -> float:
+        """Fraction of items whose nearest centroid no longer owns them.
+
+        An item is *fresh* if any of the lists holding it is its
+        nearest centroid (the same squared-distance geometry
+        :func:`assign_lists` uses).  A freshly built index has
+        staleness 0; churn raises it as upserted rows drift away from
+        the lists they were filed under and inserted rows pull
+        centroids nowhere — the trigger for :meth:`reclustered`.
+        """
+        if not len(self.list_items):
+            return 0.0
+        nearest = sq_dists(np.asarray(items_ready, dtype=np.float64),
+                           self.centroids).argmin(axis=1)
+        owner = np.repeat(np.arange(self.nlist, dtype=np.int64), self.sizes)
+        fresh = np.zeros(self.num_items, dtype=bool)
+        fresh[self.list_items[owner == nearest[self.list_items]]] = True
+        return float(1.0 - fresh.sum() / self.num_items)
+
+    def reclustered(self, items_ready: np.ndarray, *, lists: int = 1
+                    ) -> tuple["IVFIndexData", np.ndarray]:
+        """Partially re-cluster the ``lists`` stalest inverted lists.
+
+        Stale postings (owning list != nearest centroid) of the worst
+        offenders move to their nearest list — unless the item already
+        has a posting there, in which case it stays put so no duplicate
+        posting appears in one list — and every affected centroid
+        (drained or receiving) is re-centered on its new members.  A
+        full k-means pass is never run: cost scales with the moved
+        lists, not the catalogue.
+
+        Returns ``(data, code_map)``; re-centering changes the residual
+        base of *every* posting in an affected list, so those all come
+        back ``-1`` (fresh PQ encoding required).
+        """
+        items_ready = np.asarray(items_ready, dtype=np.float64)
+        nearest = sq_dists(items_ready, self.centroids).argmin(axis=1)
+        owner = np.repeat(np.arange(self.nlist, dtype=np.int64), self.sizes)
+        stale = owner != nearest[self.list_items]
+        per_list = np.bincount(owner[stale], minlength=self.nlist)
+        worst = np.argsort(-per_list, kind="stable")[:max(int(lists), 0)]
+        worst = worst[per_list[worst] > 0]
+        if not len(worst):
+            return self, np.arange(len(self.list_items), dtype=np.int64)
+        move = stale & np.isin(owner, worst)
+        # moving a spilled item into a list that already holds it would
+        # create a duplicate posting; keep those in place
+        keys = owner * np.int64(self.num_items) + self.list_items
+        target = (nearest[self.list_items] * np.int64(self.num_items)
+                  + self.list_items)
+        move &= ~np.isin(target, keys)
+        new_owner = np.where(move, nearest[self.list_items], owner)
+        affected = np.unique(np.concatenate([worst, new_owner[move]]))
+        centroids = self.centroids.copy()
+        for c in affected:
+            members = np.unique(self.list_items[new_owner == c])
+            if len(members):
+                centroids[c] = items_ready[members].mean(axis=0)
+        order = np.lexsort((self.list_items, new_owner))
+        items_new = self.list_items[order]
+        lists_new = new_owner[order]
+        indptr = np.concatenate([
+            np.zeros(1, np.int64),
+            np.cumsum(np.bincount(lists_new, minlength=self.nlist))])
+        code_map = np.where(np.isin(lists_new, affected), -1,
+                            order.astype(np.int64))
+        data = IVFIndexData(centroids, indptr, items_new, self.num_items,
+                            self.default_nprobe)
+        return data, code_map
 
     # ------------------------------------------------------------------
     def plan(self, vectors: np.ndarray, seen_counts: np.ndarray, k: int,
@@ -428,8 +581,56 @@ class IVFFlatIndex:
                           k=k, filtered_seen=filter_seen)
 
     # ------------------------------------------------------------------
+    def _refreshed_data(self, snapshot: EmbeddingSnapshot,
+                        staleness_threshold: float | None,
+                        recluster_lists: int):
+        """Incremental index data for a new snapshot generation.
+
+        Returns ``(data, code_map, items_ready)``; ``code_map`` composes
+        the posting remap with any partial re-clustering, so subclasses
+        carrying per-posting payloads (PQ codes) know exactly which
+        postings survived untouched.
+        """
+        from repro.serve.delta import item_transition
+        old_to_new, added, changed = item_transition(self.snapshot, snapshot)
+        items_ready = scoring_ready_items(np.asarray(snapshot.items),
+                                          snapshot.scoring)
+        data, code_map = self.data.updated(
+            old_to_new, added, items_ready, snapshot.manifest.num_items,
+            changed=changed)
+        if (staleness_threshold is not None
+                and data.staleness(items_ready) > staleness_threshold):
+            data, remap = data.reclustered(items_ready, lists=recluster_lists)
+            code_map = np.where(remap >= 0,
+                                code_map[np.maximum(remap, 0)], -1)
+        return data, code_map, items_ready
+
+    def refreshed(self, snapshot: EmbeddingSnapshot, *,
+                  staleness_threshold: float | None = 0.5,
+                  recluster_lists: int = 1) -> "IVFFlatIndex":
+        """Incrementally rebuilt index serving a new snapshot generation.
+
+        Posting lists are maintained in place from the dense-id
+        transition between the generations (deletes dropped, inserts
+        filed under their nearest centroids, upserts left in their old
+        lists); when the :meth:`IVFIndexData.staleness` meter crosses
+        ``staleness_threshold`` the ``recluster_lists`` worst lists are
+        partially re-clustered.  Pass ``staleness_threshold=None`` to
+        never re-cluster.  The original index is untouched — refresh is
+        a swap, not a mutation.
+        """
+        data, _, _ = self._refreshed_data(snapshot, staleness_threshold,
+                                          recluster_lists)
+        return type(self)(snapshot, data,
+                          nprobe=min(self.nprobe, data.nlist),
+                          chunk_users=self.chunk_users,
+                          panel_width=self.panel_width, routed=self.routed)
+
     def _routing_for(self, k: int, filter_seen: bool) -> "_RoutingTable":
-        key = (k, self.nprobe, filter_seen)
+        # the snapshot version is part of the key so a refresh (which
+        # swaps the snapshot a service points at) can never resolve a
+        # user through the previous generation's probe routing
+        key = (self.snapshot.version, k, self.nprobe, filter_seen)
         table = self._routing.get(key)
         if table is None:
             table = _RoutingTable.build(self, k, filter_seen)
@@ -478,7 +679,8 @@ class IVFFlatIndex:
         start = 0
         for c_g, g in live:
             ids, panels = self.data.panels_for(groups[g], self._items_ready,
-                                               self.panel_width)
+                                               self.panel_width,
+                                               self.snapshot.version)
             stop = start + len(rows_by_group[g])
             scores = panel_scores(vectors[start:stop], panels, c_g)
             if self._item_sq is not None:

@@ -35,7 +35,8 @@ from repro.serve.index import panel_scores, scoring_ready_users
 from repro.serve.snapshot import EmbeddingSnapshot
 
 __all__ = ["ProductQuantizer", "train_product_quantizer",
-           "encode_residuals", "adc_lookup_tables", "IVFPQIndex"]
+           "encode_residuals", "adc_lookup_tables", "carry_codes",
+           "IVFPQIndex"]
 
 
 class ProductQuantizer:
@@ -149,6 +150,33 @@ def adc_lookup_tables(vectors: np.ndarray,
     return out
 
 
+def carry_codes(pq: ProductQuantizer, code_map: np.ndarray,
+                data: IVFIndexData,
+                items_ready: np.ndarray) -> ProductQuantizer:
+    """Posting codes for an incrementally updated index.
+
+    ``code_map[p]`` names the old posting whose stored code new posting
+    ``p`` inherits, or ``-1`` when the posting must be re-encoded —
+    against the **frozen** ``pq.codebooks`` and the owning list's
+    centroid in ``data`` (exactly how a full re-encode of the new state
+    would compute it, so carried and fresh codes are indistinguishable).
+    """
+    code_map = np.asarray(code_map, dtype=np.int64)
+    if len(code_map) != len(data.list_items):
+        raise ValueError(f"code_map covers {len(code_map)} postings but the "
+                         f"index has {len(data.list_items)}")
+    codes = np.empty((len(code_map), pq.m), dtype=np.uint8)
+    carried = code_map >= 0
+    codes[carried] = pq.codes[code_map[carried]]
+    fresh = np.flatnonzero(~carried)
+    if len(fresh):
+        owner = np.repeat(np.arange(data.nlist, dtype=np.int64), data.sizes)
+        residuals = (items_ready[data.list_items[fresh]]
+                     - data.centroids[owner[fresh]])
+        codes[fresh] = encode_residuals(residuals, pq.codebooks)
+    return ProductQuantizer(pq.codebooks, codes)
+
+
 class IVFPQIndex(IVFFlatIndex):
     """IVF-PQ with exact refinement of the ADC shortlist.
 
@@ -201,6 +229,30 @@ class IVFPQIndex(IVFFlatIndex):
         return super().table_bytes + self.pq.table_bytes
 
     # ------------------------------------------------------------------
+    def refreshed(self, snapshot: EmbeddingSnapshot, *,
+                  staleness_threshold: float | None = 0.5,
+                  recluster_lists: int = 1) -> "IVFPQIndex":
+        """Incrementally rebuilt IVF-PQ for a new snapshot generation.
+
+        Inverted lists are maintained exactly as in
+        :meth:`~repro.ann.ivf.IVFFlatIndex.refreshed`; posting codes
+        ride along through the code map — surviving postings keep their
+        stored bytes, while inserted items, changed rows and postings
+        of re-centered lists are re-encoded against the (frozen)
+        codebooks.  Codebooks are never retrained on refresh: code
+        maintenance is therefore byte-identical to a full re-encode of
+        the new state with the same codebooks, which is the oracle
+        ``tests/test_live_index.py`` pins.
+        """
+        data, code_map, items_ready = self._refreshed_data(
+            snapshot, staleness_threshold, recluster_lists)
+        pq = carry_codes(self.pq, code_map, data, items_ready)
+        return type(self)(snapshot, data, pq,
+                          nprobe=min(self.nprobe, data.nlist),
+                          refine=self.refine, chunk_users=self.chunk_users,
+                          panel_width=self.panel_width, routed=self.routed)
+
+    # ------------------------------------------------------------------
     def _chunk_topk(self, users: np.ndarray, k: int, filter_seen: bool
                     ) -> tuple[np.ndarray, np.ndarray]:
         """IVF-Flat block assembly plus ADC shortlist masking."""
@@ -229,7 +281,8 @@ class IVFPQIndex(IVFFlatIndex):
         ids_block = np.empty((m_users, c_max), dtype=np.int64)
         for g, rows in live:
             ids, panels = self.data.panels_for(groups[g], self._items_ready,
-                                               self.panel_width)
+                                               self.panel_width,
+                                               self.snapshot.version)
             posting = self.data.signature(groups[g])[1]
             exact = panel_scores(vectors[rows], panels, len(ids))
             # ADC: centroid term of the owning list + codeword lookups

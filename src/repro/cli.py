@@ -29,6 +29,17 @@ Subcommands:
   load generator, sweeping offered QPS until saturation, and write
   ``BENCH_latency.json`` (the p50/p99 tail-latency frontier; see
   ``docs/serving.md``).
+* ``delta-export`` — diff two exported snapshots into a
+  content-hash-chained delta directory (:mod:`repro.serve.delta`).
+* ``apply-deltas`` — replay a delta chain onto a base snapshot and
+  write the resulting snapshot (bit-identical to a fresh export of
+  the final state; see ``docs/live_index.md``).
+* ``refresh`` — demo the live swap: serve a paced request stream from
+  a base snapshot and atomically refresh to the delta-applied version
+  mid-stream, printing the swap pause and version accounting.
+* ``perf-refresh`` — sweep catalogue churn fractions and write
+  ``BENCH_refresh.json`` (delta replay / incremental-IVF vs rebuild /
+  swap-under-traffic costs).
 """
 
 from __future__ import annotations
@@ -341,6 +352,122 @@ def _cmd_perf_latency(args) -> int:
     return 0
 
 
+def _cmd_delta_export(args) -> int:
+    """Diff two exported snapshots into a delta directory.
+
+    The delta's manifest chains ``base -> new`` by content version, so
+    ``apply-deltas`` can refuse out-of-order or re-based replays.
+    """
+    from repro.serve import load_snapshot
+    from repro.serve.delta import LiveState, export_delta
+
+    base = load_snapshot(args.base, verify=args.verify)
+    new = load_snapshot(args.new, verify=args.verify)
+    delta = export_delta(LiveState.from_snapshot(base),
+                         LiveState.from_snapshot(new), args.out)
+    manifest = delta.manifest
+    print_table(
+        f"delta {args.out}", ["field", "value"],
+        [["version", manifest.version],
+         ["base", manifest.base_version], ["new", manifest.new_version],
+         ["user upserts", manifest.user_upserts],
+         ["user deletes", manifest.user_deletes],
+         ["item upserts", manifest.item_upserts],
+         ["item deletes", manifest.item_deletes]], precision=0)
+    return 0
+
+
+def _cmd_apply_deltas(args) -> int:
+    """Replay a delta chain onto a base snapshot, write the result.
+
+    The written snapshot is byte-identical to a fresh export of the
+    final state (modulo the export timestamp), and each link's content
+    hash and base version are checked before any array is touched.
+    """
+    from repro.serve import load_snapshot
+    from repro.serve.delta import apply_deltas, load_delta
+
+    base = load_snapshot(args.base, verify=args.verify)
+    deltas = [load_delta(path) for path in args.deltas.split(",")]
+    snapshot = apply_deltas(base, deltas, args.out)
+    manifest = snapshot.manifest
+    print_table(
+        f"snapshot {args.out}", ["field", "value"],
+        [["version", manifest.version], ["base", base.version],
+         ["deltas applied", len(deltas)],
+         ["users", manifest.num_users], ["items", manifest.num_items],
+         ["scoring", manifest.scoring]], precision=0)
+    return 0
+
+
+def _cmd_refresh(args) -> int:
+    """Demo the atomic live swap under a paced request stream.
+
+    Serves ``--requests`` paced lookups from ``--snapshot`` through the
+    async runtime, applies ``--deltas`` mid-stream via
+    :meth:`~repro.serve.runtime.ServingRuntime.refresh`, and prints the
+    swap accounting: every response is attributable to exactly one
+    snapshot version and none are dropped.
+    """
+    import time as _time
+
+    import numpy as np
+
+    from repro.serve import (RecommendationService, ServingRuntime,
+                             load_snapshot)
+    from repro.serve.delta import apply_deltas, load_delta
+
+    base = load_snapshot(args.snapshot, verify=args.verify)
+    deltas = [load_delta(path) for path in args.deltas.split(",")]
+    new = apply_deltas(base, deltas)
+    service = RecommendationService(base)
+    rng = np.random.default_rng(args.seed)
+    users = rng.integers(0, base.manifest.num_users, size=args.requests)
+    handles = []
+    with ServingRuntime(service) as runtime:
+        start = _time.perf_counter()
+        for i, user in enumerate(users.tolist()):
+            delay = start + i / args.qps - _time.perf_counter()
+            if delay > 0:
+                _time.sleep(delay)
+            if i == args.requests // 2:
+                invalidated = runtime.refresh(new)
+            handles.append(runtime.submit(int(user), k=args.k))
+        results = [h.result(timeout=30.0) for h in handles]
+    served = {}
+    for rec in results:
+        served[rec.snapshot_version] = served.get(rec.snapshot_version,
+                                                  0) + 1
+    rows = [["base version", base.version], ["new version", new.version],
+            ["requests", len(results)],
+            ["cache entries invalidated", invalidated],
+            ["swap pause ms",
+             f"{1e3 * runtime.stats.refresh_s:.3f}"]]
+    rows += [[f"served by {version}", count]
+             for version, count in sorted(served.items())]
+    print_table(f"live refresh of {args.snapshot}", ["field", "value"],
+                rows, precision=0)
+    return 0
+
+
+def _cmd_perf_refresh(args) -> int:
+    """Run the live-refresh churn suite and write ``BENCH_refresh.json``."""
+    from repro.experiments.perf import (RefreshPerfConfig, run_refresh_suite,
+                                        summarize_refresh, write_report)
+    config = RefreshPerfConfig(
+        dataset=args.dataset, model=args.model, loss=args.loss,
+        epochs=args.epochs, dim=args.dim, k=args.k, nlist=args.nlist,
+        nprobe=args.nprobe,
+        churn_fractions=tuple(float(f) for f in args.churn.split(",")),
+        repeats=args.repeats, requests=args.requests, qps=args.qps,
+        seed=args.seed)
+    payload = run_refresh_suite(config)
+    write_report(payload, args.out)
+    print(summarize_refresh(payload))
+    print(f"wrote {args.out}")
+    return 0
+
+
 def _add_train_cell_args(parser: argparse.ArgumentParser) -> None:
     """Flags shared by every verb that trains one (model, loss) cell."""
     parser.add_argument("--dataset", default="yelp2018-small",
@@ -563,6 +690,76 @@ def build_parser() -> argparse.ArgumentParser:
                               help="completions between batch adaptations")
     perf_latency.add_argument("--seed", type=int, default=0)
     perf_latency.add_argument("--out", default="BENCH_latency.json")
+
+    delta_export = sub.add_parser(
+        "delta-export",
+        help="diff two snapshots into a content-hash-chained delta")
+    delta_export.add_argument("--base", required=True,
+                              help="base snapshot directory")
+    delta_export.add_argument("--new", required=True,
+                              help="snapshot directory to diff against base")
+    delta_export.add_argument("--out", required=True,
+                              help="delta output directory")
+    delta_export.add_argument("--verify", action="store_true",
+                              help="check both snapshot content hashes first")
+
+    apply_deltas = sub.add_parser(
+        "apply-deltas",
+        help="replay a delta chain onto a base snapshot")
+    apply_deltas.add_argument("--base", required=True,
+                              help="base snapshot directory")
+    apply_deltas.add_argument("--deltas", required=True,
+                              help="comma-separated delta directories, "
+                                   "in chain order")
+    apply_deltas.add_argument("--out", required=True,
+                              help="snapshot output directory")
+    apply_deltas.add_argument("--verify", action="store_true",
+                              help="check the base snapshot content hash "
+                                   "first (delta hashes are always checked)")
+
+    refresh = sub.add_parser(
+        "refresh",
+        help="demo the atomic live swap under a paced request stream")
+    refresh.add_argument("--snapshot", required=True,
+                         help="base snapshot directory to serve from")
+    refresh.add_argument("--deltas", required=True,
+                         help="comma-separated delta directories to apply "
+                              "mid-stream, in chain order")
+    refresh.add_argument("--requests", type=int, default=64,
+                         help="paced lookups driven through the runtime")
+    refresh.add_argument("--qps", type=float, default=500.0,
+                         help="request pacing rate")
+    refresh.add_argument("--k", type=int, default=DEFAULT_TOP_K)
+    refresh.add_argument("--seed", type=int, default=0)
+    refresh.add_argument("--verify", action="store_true",
+                         help="check the snapshot content hash first")
+
+    perf_refresh = sub.add_parser(
+        "perf-refresh",
+        help="sweep catalogue churn through the live-refresh path, "
+             "write BENCH_refresh.json")
+    perf_refresh.add_argument("--dataset", default="yelp2018-small",
+                              choices=dataset_names())
+    perf_refresh.add_argument("--model", default="mf",
+                              choices=model_names())
+    perf_refresh.add_argument("--loss", default="bsl",
+                              choices=loss_names())
+    perf_refresh.add_argument("--epochs", type=int, default=8)
+    perf_refresh.add_argument("--dim", type=int, default=64)
+    perf_refresh.add_argument("--k", type=int, default=DEFAULT_TOP_K)
+    perf_refresh.add_argument("--nlist", type=int, default=16,
+                              help="inverted lists of the maintained index")
+    perf_refresh.add_argument("--nprobe", type=int, default=2)
+    perf_refresh.add_argument("--churn", default="0.01,0.05,0.2",
+                              help="comma-separated catalogue churn "
+                                   "fractions")
+    perf_refresh.add_argument("--repeats", type=int, default=3,
+                              help="best-of timing repeats per clock")
+    perf_refresh.add_argument("--requests", type=int, default=256,
+                              help="paced lookups around each swap")
+    perf_refresh.add_argument("--qps", type=float, default=2000.0)
+    perf_refresh.add_argument("--seed", type=int, default=0)
+    perf_refresh.add_argument("--out", default="BENCH_refresh.json")
     return parser
 
 
@@ -574,7 +771,11 @@ def main(argv=None) -> int:
                 "perf-train": _cmd_perf_train, "export": _cmd_export,
                 "build-ann": _cmd_build_ann, "recommend": _cmd_recommend,
                 "perf-serve": _cmd_perf_serve,
-                "perf-latency": _cmd_perf_latency}
+                "perf-latency": _cmd_perf_latency,
+                "delta-export": _cmd_delta_export,
+                "apply-deltas": _cmd_apply_deltas,
+                "refresh": _cmd_refresh,
+                "perf-refresh": _cmd_perf_refresh}
     return handlers[args.command](args)
 
 

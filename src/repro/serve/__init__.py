@@ -16,6 +16,15 @@ through the scatter-gather
 path is bit-identical to the single-process index (see
 ``docs/sharding.md``).
 
+Live state evolves without full re-exports through
+:mod:`repro.serve.delta`: content-hash-chained **delta snapshots**
+(:func:`~repro.serve.delta.export_delta` /
+:func:`~repro.serve.delta.apply_deltas`) capture row upserts and
+deletes against a base version, and
+:meth:`RecommendationService.refresh` /
+:meth:`~repro.serve.runtime.ServingRuntime.refresh` swap the served
+version atomically between micro-batches (see ``docs/live_index.md``).
+
 Typical flow (also available as ``repro export`` / ``repro recommend``)::
 
     from repro.serve import export_snapshot, load_snapshot
@@ -27,6 +36,10 @@ Typical flow (also available as ``repro export`` / ``repro recommend``)::
         print(rec.user_id, rec.items)
 """
 
+from repro.serve.delta import (DELTA_SCHEMA, Delta, DeltaManifest, DeltaOps,
+                               LiveState, apply_deltas, diff_states,
+                               export_delta, export_state, is_delta,
+                               load_delta, replay_deltas, write_delta)
 from repro.serve.index import (PANEL_WIDTH, ExactTopKIndex,
                                QuantizedTopKIndex, TopKIndex, TopKResult,
                                build_index)
@@ -62,4 +75,7 @@ __all__ = [
     "RecommendationService",
     "OverloadError", "RuntimeConfig", "RuntimeStats", "AsyncRequest",
     "ServingRuntime",
+    "DELTA_SCHEMA", "DeltaManifest", "DeltaOps", "Delta", "LiveState",
+    "diff_states", "export_delta", "write_delta", "export_state",
+    "is_delta", "load_delta", "replay_deltas", "apply_deltas",
 ]

@@ -246,6 +246,18 @@ class TopKIndex:
                           k=k, filtered_seen=filter_seen)
 
     # ------------------------------------------------------------------
+    def refreshed(self, snapshot: EmbeddingSnapshot) -> "TopKIndex":
+        """Rebuild this index over ``snapshot``, keeping tuning knobs.
+
+        The exact and quantized indexes derive everything from the item
+        table, so a refresh is a plain reconstruction; the ANN indexes
+        override this with incremental posting-list maintenance.  The
+        returned index serves ``snapshot`` — the receiver is untouched,
+        so an in-flight request on the old index is never torn.
+        """
+        return type(self)(snapshot, chunk_users=self.chunk_users)
+
+    # ------------------------------------------------------------------
     def _score_chunk(self, users: np.ndarray) -> np.ndarray:
         """Dense ``(len(users), n_items)`` float64 score block."""
         raise NotImplementedError
@@ -271,11 +283,16 @@ class ExactTopKIndex(TopKIndex):
     def __init__(self, snapshot: EmbeddingSnapshot, chunk_users: int = 256,
                  panel_width: int = PANEL_WIDTH):
         super().__init__(snapshot, chunk_users)
+        self.panel_width = panel_width
         items = scoring_ready_items(snapshot.items, snapshot.scoring)
         self._n_items = len(items)
         self._panels = build_panels(items, panel_width)
         self._item_sq = ((items ** 2).sum(axis=1)
                          if snapshot.scoring == "euclidean" else None)
+
+    def refreshed(self, snapshot: EmbeddingSnapshot) -> "ExactTopKIndex":
+        return type(self)(snapshot, chunk_users=self.chunk_users,
+                          panel_width=self.panel_width)
 
     @property
     def table_bytes(self) -> int:
@@ -324,6 +341,10 @@ class QuantizedTopKIndex(TopKIndex):
             self._item_sq = (deq.astype(np.float64) ** 2).sum(axis=1)
         else:
             self._item_sq = None
+
+    def refreshed(self, snapshot: EmbeddingSnapshot) -> "QuantizedTopKIndex":
+        return type(self)(snapshot, chunk_users=self.chunk_users,
+                          chunk_items=self.chunk_items)
 
     @property
     def table_bytes(self) -> int:

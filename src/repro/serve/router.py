@@ -125,6 +125,7 @@ class ShardedTopKIndex:
             raise ValueError(f"chunk_users must be positive, got {chunk_users}")
         self.snapshot = snapshot
         self.chunk_users = chunk_users
+        self._index_kwargs = dict(index_kwargs)
         self.shard_indexes = [
             build_shard_index(shard, snapshot.scoring, kind, **index_kwargs)
             for shard in snapshot.item_shards]
@@ -156,6 +157,31 @@ class ShardedTopKIndex:
     def per_shard_table_bytes(self) -> list[int]:
         """Scoring-table bytes held by each item shard's index."""
         return [index.table_bytes for index in self.shard_indexes]
+
+    # ------------------------------------------------------------------
+    def refreshed(self, snapshot: ShardedSnapshot,
+                  *, ann=...) -> "ShardedTopKIndex":
+        """Rebuild the router over a new sharded snapshot, same knobs.
+
+        A router configured with an ANN candidate generator must be
+        handed an updated generator explicitly (``ann=...``): the old
+        generator's posting lists reference the retired catalogue, so
+        silently reusing it would route requests through stale — and
+        for deleted items, dangling — candidate lists.  Pass
+        ``ann=None`` to drop candidate generation on refresh.
+        """
+        if ann is Ellipsis:
+            if self.ann is not None:
+                raise ValueError(
+                    "this router routes through an ANN candidate "
+                    "generator; pass an updated generator (or ann=None) "
+                    "when refreshing — the old posting lists index the "
+                    "retired catalogue")
+            ann = None
+        return type(self)(snapshot, kind=self._kind,
+                          chunk_users=self.chunk_users, ann=ann,
+                          ann_nprobe=self.ann_nprobe, workers=self.workers,
+                          **self._index_kwargs)
 
     # ------------------------------------------------------------------
     def topk(self, user_ids, k: int = 10,
@@ -344,6 +370,21 @@ class ShardedRecommendationService(RecommendationService):
                                      workers=workers)
         super().__init__(snapshot, index=index, cache_size=cache_size,
                          max_batch=max_batch)
+
+    def refresh(self, snapshot_or_deltas, *, index=None) -> int:
+        """Swap in a new **sharded** snapshot (delta lists not accepted).
+
+        Deltas describe edits to the unsharded row tables; replaying
+        them against shard files would need a reshard, so the sharded
+        service requires the caller to hand it the already-resharded
+        :class:`~repro.serve.shard.ShardedSnapshot` (and, for
+        ANN-routed setups, a refreshed router via ``index=``).
+        """
+        if not isinstance(snapshot_or_deltas, ShardedSnapshot):
+            raise TypeError(
+                "sharded services refresh from a ShardedSnapshot; apply "
+                "deltas to the unsharded snapshot and re-shard it first")
+        return self._swap(snapshot_or_deltas, index)
 
     @property
     def router_stats(self) -> RouterStats:

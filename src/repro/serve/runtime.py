@@ -134,6 +134,8 @@ class RuntimeStats:
     service_s: float = 0.0
     grows: int = 0
     shrinks: int = 0
+    refreshes: int = 0
+    refresh_s: float = 0.0
 
     @property
     def shed_rate(self) -> float:
@@ -239,6 +241,8 @@ class ServingRuntime:
         self._since_adapt = 0
         self._stop = threading.Event()
         self._worker: threading.Thread | None = None
+        self._refresh_lock = threading.Lock()
+        self._refresh_slot: dict | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -264,6 +268,9 @@ class ServingRuntime:
         self._stop.set()
         self._worker.join()
         self._worker = None
+        # A refresh posted after the worker's final slot check would
+        # otherwise strand its waiter; apply it synchronously now.
+        self._apply_refresh()
 
     def __enter__(self) -> "ServingRuntime":
         return self.start()
@@ -301,6 +308,56 @@ class ServingRuntime:
         return self._queue.qsize()
 
     # ------------------------------------------------------------------
+    # Live refresh
+    # ------------------------------------------------------------------
+    def refresh(self, snapshot_or_deltas, *, index=None,
+                timeout: float = 30.0) -> int:
+        """Atomically swap the served snapshot between micro-batches.
+
+        Delegates to
+        :meth:`~repro.serve.service.RecommendationService.refresh`, but
+        never concurrently with a sweep: while the worker is running the
+        swap request parks in a one-deep slot that the worker applies
+        *between* batches, so every request is served entirely by one
+        snapshot version — no torn reads, no dropped requests.  Blocks
+        until the swap lands (or ``timeout`` seconds pass) and returns
+        the number of cache entries invalidated.  With the worker
+        stopped the swap runs synchronously on the caller's thread.
+        """
+        slot = {"args": (snapshot_or_deltas, index),
+                "done": threading.Event(), "error": None, "invalidated": 0}
+        with self._refresh_lock:
+            if self._refresh_slot is not None:
+                raise RuntimeError("a refresh is already in flight")
+            self._refresh_slot = slot
+        if not self.running:
+            self._apply_refresh()
+        if not slot["done"].wait(timeout):
+            raise TimeoutError(f"refresh still pending after {timeout}s")
+        if slot["error"] is not None:
+            raise slot["error"]
+        return slot["invalidated"]
+
+    def _apply_refresh(self) -> None:
+        """Apply a parked refresh, if any (worker thread, between batches)."""
+        with self._refresh_lock:
+            slot, self._refresh_slot = self._refresh_slot, None
+        if slot is None:
+            return
+        started = time.perf_counter()
+        try:
+            snapshot_or_deltas, index = slot["args"]
+            slot["invalidated"] = self.service.refresh(snapshot_or_deltas,
+                                                       index=index)
+        except BaseException as exc:
+            slot["error"] = exc
+        else:
+            self.stats.refreshes += 1
+            self.stats.refresh_s += time.perf_counter() - started
+        finally:
+            slot["done"].set()
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def latency_quantiles(self, qs=(50.0, 99.0)) -> dict:
@@ -321,6 +378,8 @@ class ServingRuntime:
             "queue_ms": 1e3 * self.stats.queue_s / n,
             "service_ms": 1e3 * self.stats.service_s / n,
             "sweep_ms": self.service.stats.sweep_ms_per_sweep,
+            "refresh_ms": (1e3 * self.stats.refresh_s / self.stats.refreshes
+                           if self.stats.refreshes else 0.0),
             "mean_batch": self.stats.mean_batch,
             "batch_size": self.batch_size,
         }
@@ -339,6 +398,9 @@ class ServingRuntime:
     # ------------------------------------------------------------------
     def _run(self) -> None:
         while True:
+            # Swaps land here — strictly between micro-batches, so a
+            # batch in flight always finishes on the version it started.
+            self._apply_refresh()
             batch = self._collect_batch()
             if batch:
                 self._execute(batch)

@@ -72,6 +72,8 @@ class ServiceStats:
     cache_misses: int = 0
     index_sweeps: int = 0
     sweep_s: float = 0.0
+    refreshes: int = 0
+    cache_invalidated: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -116,6 +118,19 @@ class LRUCache:
     def clear(self) -> None:
         """Drop every cached entry."""
         self._data.clear()
+
+    def invalidate(self, predicate) -> int:
+        """Drop every entry whose key satisfies ``predicate``; return count.
+
+        Used by :meth:`RecommendationService.refresh` to evict exactly
+        the entries keyed to a retired snapshot version while entries
+        already keyed to the incoming version (e.g. warmed ahead of the
+        swap) survive.
+        """
+        stale = [key for key in self._data if predicate(key)]
+        for key in stale:
+            del self._data[key]
+        return len(stale)
 
 
 class PendingRequest:
@@ -316,6 +331,53 @@ class RecommendationService:
     def pending(self) -> int:
         """Number of queued micro-batched requests."""
         return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Live refresh
+    # ------------------------------------------------------------------
+    def refresh(self, snapshot_or_deltas, *,
+                index: TopKIndex | None = None) -> int:
+        """Swap in a new snapshot version; returns evicted cache entries.
+
+        ``snapshot_or_deltas`` is either a loaded
+        :class:`~repro.serve.snapshot.EmbeddingSnapshot` or a list of
+        :class:`~repro.serve.delta.Delta` objects, which are replayed
+        in-memory against the current snapshot
+        (:func:`~repro.serve.delta.apply_deltas`).  ``index`` overrides
+        the refreshed index; by default the current index's
+        ``refreshed(snapshot)`` rebuilds or incrementally updates it.
+
+        The swap is atomic from a caller's point of view: pending
+        micro-batched requests are flushed against the *old* snapshot
+        first (they were accepted under that version), then snapshot,
+        index, and cache move together.  Only cache entries keyed to
+        retired ``(version, kind)`` pairs are evicted — entries already
+        keyed to the incoming version survive.
+        """
+        if isinstance(snapshot_or_deltas, EmbeddingSnapshot):
+            snapshot = snapshot_or_deltas
+        else:
+            from repro.serve.delta import apply_deltas
+            snapshot = apply_deltas(self.snapshot, list(snapshot_or_deltas))
+        return self._swap(snapshot, index)
+
+    def _swap(self, snapshot, index: TopKIndex | None) -> int:
+        """Version-checked snapshot/index/cache swap shared with the
+        sharded service (whose ``refresh`` validates its own input)."""
+        if index is None:
+            index = self.index.refreshed(snapshot)
+        if index.snapshot.version != snapshot.version:
+            raise ValueError(
+                f"refresh index wraps snapshot {index.snapshot.version!r} "
+                f"but the service was given {snapshot.version!r}")
+        self.flush()
+        self.snapshot = snapshot
+        self.index = index
+        live = (snapshot.version, index.kind)
+        invalidated = self.cache.invalidate(lambda key: key[:2] != live)
+        self.stats.refreshes += 1
+        self.stats.cache_invalidated += invalidated
+        return invalidated
 
     # ------------------------------------------------------------------
     def _key(self, user: int, k: int, filter_seen: bool) -> tuple:

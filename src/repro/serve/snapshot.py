@@ -221,6 +221,22 @@ def _frozen_tables(model: Recommender) -> tuple[np.ndarray, np.ndarray]:
             np.ascontiguousarray(items, dtype=np.float64))
 
 
+def _write_arrays(out_dir: pathlib.Path, manifest: SnapshotManifest,
+                  users: np.ndarray, items: np.ndarray,
+                  seen_indptr: np.ndarray, seen_items: np.ndarray) -> None:
+    """Persist the four snapshot arrays plus the manifest.
+
+    The single write path shared by :func:`export_snapshot` and the
+    delta-replay exporter (:func:`repro.serve.delta.export_state`), so
+    "replayed chain == fresh export" can be checked byte for byte.
+    """
+    np.save(out_dir / _FILES["users"], users)
+    np.save(out_dir / _FILES["items"], items)
+    np.save(out_dir / _FILES["seen_indptr"], seen_indptr)
+    np.save(out_dir / _FILES["seen_items"], seen_items)
+    (out_dir / _MANIFEST).write_text(manifest.to_json() + "\n")
+
+
 def export_snapshot(model: Recommender, dataset: InteractionDataset,
                     out_dir, *, model_name: str | None = None,
                     extra: dict | None = None) -> EmbeddingSnapshot:
@@ -278,11 +294,7 @@ def export_snapshot(model: Recommender, dataset: InteractionDataset,
         created_unix=time.time(),
         extra=dict(extra or {}))
 
-    np.save(out_dir / _FILES["users"], users)
-    np.save(out_dir / _FILES["items"], items)
-    np.save(out_dir / _FILES["seen_indptr"], seen_indptr)
-    np.save(out_dir / _FILES["seen_items"], seen_items)
-    (out_dir / _MANIFEST).write_text(manifest.to_json() + "\n")
+    _write_arrays(out_dir, manifest, users, items, seen_indptr, seen_items)
     return EmbeddingSnapshot(manifest, users, items, seen_indptr, seen_items,
                              path=out_dir)
 

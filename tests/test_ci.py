@@ -146,6 +146,18 @@ class TestMakefileAndScripts:
         assert (REPO_ROOT / "benchmarks" / "latency_perf.py").is_file()
         assert (REPO_ROOT / "BENCH_latency.json").is_file()
 
+    def test_bench_refresh_target_and_verbs_exist(self):
+        """The live-refresh entry points are wired end to end."""
+        assert "bench-refresh" in _make_targets()
+        verbs = _cli_verbs()
+        for verb in ("perf-refresh", "delta-export", "apply-deltas",
+                     "refresh"):
+            assert verb in verbs, f"CLI verb {verb!r} missing"
+        makefile = (REPO_ROOT / "Makefile").read_text()
+        assert "perf-refresh" in makefile
+        assert (REPO_ROOT / "benchmarks" / "refresh_perf.py").is_file()
+        assert (REPO_ROOT / "BENCH_refresh.json").is_file()
+
     def test_verify_wires_bench_check(self):
         makefile = (REPO_ROOT / "Makefile").read_text()
         assert "bench-check" in makefile

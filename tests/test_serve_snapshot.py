@@ -6,8 +6,9 @@ import numpy as np
 import pytest
 
 from repro.models import MF, LightGCN
-from repro.serve import (SNAPSHOT_SCHEMA, SnapshotManifest, export_snapshot,
-                         load_snapshot)
+from repro.serve import (SNAPSHOT_SCHEMA, DeltaManifest, LiveState,
+                         SnapshotManifest, export_delta, export_snapshot,
+                         load_delta, load_snapshot)
 
 
 class TestExport:
@@ -146,3 +147,54 @@ class TestLoad:
         payload["from_the_future"] = 1
         with pytest.raises(ValueError, match="unknown fields"):
             SnapshotManifest.from_json(json.dumps(payload))
+
+
+class TestDeltaIntegrity:
+    """Delta files carry the same tamper-evidence as snapshots."""
+
+    @pytest.fixture()
+    def delta_dir(self, tiny_mf_snapshot, tmp_path):
+        _, snapshot = tiny_mf_snapshot
+        base = LiveState.from_snapshot(snapshot)
+        churned = base.copy()
+        churned.upsert_item(0, np.full(base.dim, 0.25))
+        churned.upsert_user(1, np.full(base.dim, -0.5), [0, 2])
+        churned.delete_item(sorted(churned.items)[-1])
+        export_delta(base, churned, tmp_path / "delta")
+        return tmp_path / "delta"
+
+    def test_roundtrip_verifies(self, delta_dir):
+        delta = load_delta(delta_dir, verify=True)
+        assert delta.manifest.item_upserts == 1
+        assert delta.manifest.user_upserts == 1
+        assert delta.manifest.item_deletes == 1
+
+    def test_tampered_rows_rejected(self, delta_dir):
+        rows = np.load(delta_dir / "item_upsert_rows.npy")
+        rows[0, 0] += 1.0
+        np.save(delta_dir / "item_upsert_rows.npy", rows)
+        load_delta(delta_dir, verify=False)  # lazy load is fine
+        with pytest.raises(ValueError, match="content hash"):
+            load_delta(delta_dir, verify=True)
+
+    def test_rebased_manifest_rejected(self, delta_dir):
+        """Pointing a delta at a different base breaks its content hash.
+
+        The version digest binds ``base_version -> new_version``, so an
+        edited manifest can't graft a delta onto a foreign snapshot."""
+        payload = json.loads((delta_dir / "manifest.json").read_text())
+        payload["base_version"] = "0" * 16
+        (delta_dir / "manifest.json").write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="content hash"):
+            load_delta(delta_dir, verify=True)
+
+    def test_unknown_manifest_fields_rejected(self, delta_dir):
+        payload = json.loads((delta_dir / "manifest.json").read_text())
+        payload["from_the_future"] = 1
+        with pytest.raises(ValueError, match="unknown fields"):
+            DeltaManifest.from_json(json.dumps(payload))
+
+    def test_missing_op_array_rejected(self, delta_dir):
+        (delta_dir / "user_delete_ids.npy").unlink()
+        with pytest.raises(FileNotFoundError):
+            load_delta(delta_dir, verify=True)
