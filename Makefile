@@ -1,21 +1,20 @@
 # Developer entry points.  The test tiers mirror the root conftest.py:
 # tier-1 must stay fast; everything slow hides behind --runslow.
 #
-#   make verify        tier-1 tests + docs/bench checkers (what CI gates on)
-#   make verify-slow   everything, incl. paper-figure benches
-#   make ci            strict verify, exactly what .github/workflows/ci.yml runs
-#   make bench         regenerate BENCH_fastpath.json + BENCH_serve.json
-#   make bench-train   regenerate the training frontier (BENCH_train.json)
-#   make bench-ann     regenerate the ANN frontier (BENCH_ann.json)
-#   make bench-latency regenerate the tail-latency frontier (BENCH_latency.json)
-#   make bench-refresh regenerate the live-refresh churn sweep (BENCH_refresh.json)
-#   make docs-check    just the README/docs reference checker
-#   make bench-check   just the benchmark JSON schema validator
+#   make verify          tier-1 tests + docs/bench checkers (what CI gates on)
+#   make verify-slow     everything, incl. paper-figure benches
+#   make ci              strict verify, exactly what .github/workflows/ci.yml runs
+#   make bench           regenerate BENCH_fastpath.json + BENCH_serve.json
+#   make bench-<suite>   regenerate one registry suite (fastpath, train,
+#                        serve, ann, latency, refresh, scale) via
+#                        `repro bench <suite>`; see repro.experiments.bench
+#   make docs-check      just the README/docs reference checker
+#   make bench-check     just the benchmark JSON schema validator
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify verify-slow test ci docs-check bench-check bench bench-train bench-ann bench-latency bench-refresh
+.PHONY: verify verify-slow test ci docs-check bench-check bench bench-fastpath bench-train bench-serve bench-ann bench-latency bench-refresh bench-scale
 
 verify: docs-check bench-check
 	$(PYTHON) -m pytest -x -q
@@ -34,18 +33,25 @@ docs-check:
 bench-check:
 	$(PYTHON) scripts/check_bench.py
 
-bench:
-	$(PYTHON) -m repro.cli perf --out BENCH_fastpath.json
-	$(PYTHON) -m repro.cli perf-serve --out BENCH_serve.json
+bench: bench-fastpath bench-serve
+
+bench-fastpath:
+	$(PYTHON) -m repro.cli bench fastpath --out BENCH_fastpath.json
 
 bench-train:
-	$(PYTHON) -m repro.cli perf-train --out BENCH_train.json
+	$(PYTHON) -m repro.cli bench train --out BENCH_train.json
+
+bench-serve:
+	$(PYTHON) -m repro.cli bench serve --out BENCH_serve.json
 
 bench-ann:
-	$(PYTHON) -m repro.cli perf-serve --ann-only --ann-out BENCH_ann.json
+	$(PYTHON) -m repro.cli bench ann --out BENCH_ann.json
 
 bench-latency:
-	$(PYTHON) -m repro.cli perf-latency --out BENCH_latency.json
+	$(PYTHON) -m repro.cli bench latency --out BENCH_latency.json
 
 bench-refresh:
-	$(PYTHON) -m repro.cli perf-refresh --out BENCH_refresh.json
+	$(PYTHON) -m repro.cli bench refresh --out BENCH_refresh.json
+
+bench-scale:
+	$(PYTHON) -m repro.cli bench scale --out BENCH_scale.json

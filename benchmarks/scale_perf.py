@@ -1,0 +1,26 @@
+"""Runnable out-of-core scale harness (not collected by pytest).
+
+Thin wrapper over :mod:`repro.experiments.scale_perf` so the benchmark
+directory has a one-command entry point::
+
+    PYTHONPATH=src python benchmarks/scale_perf.py [--out BENCH_scale.json ...]
+
+Runs the full out-of-core pipeline per level — shard generation, mmap
+table init, streamed sparse-grad training, sharded export, serving —
+with one fresh subprocess per phase so each peak-RSS column is honest,
+and writes ``BENCH_scale.json`` (schema ``bsl-scale-bench/v1``).
+Equivalent to ``python -m repro.cli bench scale``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+if __name__ == "__main__":
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    src = repo_root / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    from repro.cli import main
+    raise SystemExit(main(["bench", "scale", *sys.argv[1:]]))

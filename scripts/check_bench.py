@@ -1,12 +1,12 @@
 #!/usr/bin/env python
 """Bench-schema validator: the checked-in benchmark JSONs must not rot.
 
-Validates ``BENCH_fastpath.json``, ``BENCH_train.json``,
-``BENCH_serve.json``, ``BENCH_ann.json``, ``BENCH_latency.json`` and
-``BENCH_refresh.json`` against the schemas their generators declare
-(``bsl-fastpath-bench/v1``, ``bsl-train-bench/v1``,
-``bsl-serve-bench/v2``, ``bsl-ann-bench/v1``,
-``bsl-latency-bench/v1``, ``bsl-refresh-bench/v1``):
+Validates every committed ``BENCH_*.json`` against the schema its
+generator declares.  The file list, expected schemas, required result
+sections and per-row columns all come from the **suite registry**
+(:mod:`repro.experiments.bench`) — the same registry that builds the
+``repro bench`` CLI and the ``make bench-*`` targets — so adding a
+suite there automatically extends this validator.  The rules per file:
 
 * the top level must carry ``schema`` / ``created_unix`` / ``dataset`` /
   ``config`` / ``results`` and the schema string must match exactly;
@@ -21,8 +21,11 @@ Validates ``BENCH_fastpath.json``, ``BENCH_train.json``,
   offered_qps/achieved_qps/p50_ms/p99_ms/shed_rate columns;
   ``refresh`` for the live-refresh churn sweep, where every row must
   carry the churn_fraction/rows_changed/delta_apply_ms/ivf_update_ms/
-  ivf_rebuild_ms/swap_pause_ms/requests_during_swap/errors columns)
-  must be present and its rows must carry the per-kind required fields;
+  ivf_rebuild_ms/swap_pause_ms/requests_during_swap/errors columns;
+  ``scale`` for the out-of-core frontier, where every row must carry
+  the level/num_users/num_items/ms_per_step/users_per_s/peak_rss_mb
+  columns) must be present and its rows must carry the per-kind
+  required fields;
 * every number anywhere in the payload must be finite — a NaN or
   infinity in a throughput column means a broken timing run was
   committed.
@@ -41,45 +44,19 @@ import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
-#: filename -> (expected schema, required result kinds)
-EXPECTED = {
-    "BENCH_fastpath.json": ("bsl-fastpath-bench/v1", {"train_step", "eval"}),
-    "BENCH_train.json": ("bsl-train-bench/v1",
-                         {"train_throughput", "train_quality"}),
-    "BENCH_serve.json": ("bsl-serve-bench/v2", {"serve", "serve_sharded"}),
-    "BENCH_ann.json": ("bsl-ann-bench/v1", {"ann", "ann_baseline"}),
-    "BENCH_latency.json": ("bsl-latency-bench/v1", {"latency"}),
-    "BENCH_refresh.json": ("bsl-refresh-bench/v1", {"refresh"}),
-}
+try:
+    from repro.experiments.bench import expected_files, required_row_fields
+except ImportError:  # run directly, without PYTHONPATH=src
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.experiments.bench import expected_files, required_row_fields
+
+#: filename -> (expected schema, required result kinds) — derived from
+#: the suite registry so the validator can never drift from the
+#: generators (``tests/test_bench_check.py`` pins the coverage both ways)
+EXPECTED = expected_files()
 
 #: result kind -> fields every row of that kind must carry
-REQUIRED_FIELDS = {
-    "train_step": {"model", "loss", "fused", "steps", "ms_per_step",
-                   "steps_per_s"},
-    "train_throughput": {"model", "loss", "grad_mode", "num_items",
-                         "catalogue_scale", "batch_size", "n_negatives",
-                         "ms_per_step", "steps_per_s"},
-    "train_quality": {"model", "loss", "grad_mode", "sparse_mode",
-                      "epochs", "ndcg_at_20"},
-    "eval": {"model", "chunked", "users", "users_per_s"},
-    "serve": {"index", "cache", "batch_size", "k", "users_per_s",
-              "ms_per_batch", "cache_hit_rate"},
-    "serve_sharded": {"index", "shards", "partition_by", "strategy",
-                      "batch_size", "k", "users_per_s",
-                      "merge_overhead_ms", "merge_fraction",
-                      "per_shard_bytes"},
-    "overlap": {"index", "k", "overlap_at_k", "table_bytes",
-                "exact_table_bytes"},
-    "ann": {"index", "nlist", "nprobe", "recall", "users_per_s", "k",
-            "batch_size", "candidates_mean", "speedup_vs_exact"},
-    "ann_baseline": {"index", "users_per_s", "k", "batch_size"},
-    "latency": {"index", "offered_qps", "achieved_qps", "p50_ms", "p99_ms",
-                "shed_rate", "k", "slo_ms", "mean_queue_ms",
-                "mean_service_ms"},
-    "refresh": {"churn_fraction", "rows_changed", "delta_apply_ms",
-                "ivf_update_ms", "ivf_rebuild_ms", "swap_pause_ms",
-                "requests_during_swap", "errors"},
-}
+REQUIRED_FIELDS = required_row_fields()
 
 _TOP_LEVEL = ("schema", "created_unix", "dataset", "config", "results")
 
@@ -151,7 +128,7 @@ def check_file(path: pathlib.Path) -> list[str]:
 
 
 def main(argv=None) -> int:
-    """Validate the given bench files (default: both repo-root files)."""
+    """Validate the given bench files (default: every registry file)."""
     argv = sys.argv[1:] if argv is None else argv
     paths = ([pathlib.Path(a) for a in argv] if argv
              else [REPO_ROOT / name for name in sorted(EXPECTED)])

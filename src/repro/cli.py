@@ -3,16 +3,24 @@
 Subcommands:
 
 * ``train`` — train one (dataset, model, loss) cell and print metrics.
-* ``datasets`` — list the built-in synthetic presets with statistics.
+  Scale presets (``scale-1m`` etc.) train **out-of-core**: interaction
+  shards stream through the sparse-grad path into mmap-backed tables.
+* ``datasets`` — list the built-in synthetic presets with statistics,
+  plus the out-of-core scale presets (never materialized densely).
 * ``sweep-tau`` — quick SL temperature sweep on one dataset.
-* ``perf`` — time train-step / eval throughput and write
-  ``BENCH_fastpath.json`` (the fast-path perf trajectory).
-* ``perf-train`` — sweep catalogue size × loss × grad mode (dense
-  full-catalogue vs row-sparse training) and write ``BENCH_train.json``
-  (the training-throughput frontier; see ``docs/training.md``).
+* ``bench`` — run one registered benchmark suite
+  (:mod:`repro.experiments.bench`): ``bench fastpath`` / ``bench
+  train`` / ``bench serve`` / ``bench ann`` / ``bench latency`` /
+  ``bench refresh`` / ``bench scale``, each writing its registry
+  ``BENCH_*.json`` file.  The historical ``perf`` / ``perf-train`` /
+  ``perf-serve`` / ``perf-latency`` / ``perf-refresh`` verbs remain as
+  deprecated aliases; ``perf-scale`` is a supported shorthand for
+  ``bench scale``.
 * ``export`` — train (or load a checkpoint) and freeze the model into a
   serving snapshot directory (:mod:`repro.serve`); ``--shards N``
-  writes a horizontally partitioned snapshot instead.
+  writes a horizontally partitioned snapshot instead.  Scale presets
+  export straight from the mmap'd tables and interaction shards — no
+  dense intermediates.
 * ``build-ann`` — train an approximate-retrieval IVF index
   (:mod:`repro.ann`) from an exported snapshot into an index
   directory with a content-hashed manifest.
@@ -20,15 +28,6 @@ Subcommands:
   (sharded directories are detected and scatter-gather-routed
   automatically; ``--ann DIR`` serves through an IVF candidate
   index built by ``build-ann``).
-* ``perf-serve`` — time snapshot serving throughput, unsharded and
-  across shard counts, and write ``BENCH_serve.json`` (the serving
-  perf trajectory); ``--ann`` also sweeps the IVF recall/throughput
-  frontier into ``BENCH_ann.json`` (``--ann-only`` skips the serve
-  grid).
-* ``perf-latency`` — drive the async serving runtime with a paced
-  load generator, sweeping offered QPS until saturation, and write
-  ``BENCH_latency.json`` (the p50/p99 tail-latency frontier; see
-  ``docs/serving.md``).
 * ``delta-export`` — diff two exported snapshots into a
   content-hash-chained delta directory (:mod:`repro.serve.delta`).
 * ``apply-deltas`` — replay a delta chain onto a base snapshot and
@@ -37,17 +36,17 @@ Subcommands:
 * ``refresh`` — demo the live swap: serve a paced request stream from
   a base snapshot and atomically refresh to the delta-applied version
   mid-stream, printing the swap pause and version accounting.
-* ``perf-refresh`` — sweep catalogue churn fractions and write
-  ``BENCH_refresh.json`` (delta replay / incremental-IVF vs rebuild /
-  swap-under-traffic costs).
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro.data import dataset_names, load_dataset
+from repro.data import (SCALE_PRESETS, dataset_names, load_dataset,
+                        scale_preset_names)
 from repro.experiments import ExperimentSpec, run_experiment
+from repro.experiments.bench import (ALIAS_VERBS, add_bench_subparsers,
+                                     add_legacy_verbs, get_suite, run_legacy)
 from repro.experiments.report import print_series, print_table
 from repro.losses import loss_names
 from repro.models import model_names
@@ -66,26 +65,90 @@ def _cmd_datasets(_args) -> int:
     print_table("Built-in synthetic presets (Table I shaped)",
                 ["name", "users", "items", "train", "test", "density"],
                 rows, precision=0)
+    scale_rows = []
+    for name in scale_preset_names():
+        cfg = SCALE_PRESETS[name]
+        scale_rows.append([name, cfg.num_users, cfg.num_items,
+                           int(cfg.mean_interactions * cfg.num_users),
+                           cfg.num_clusters])
+    print_table("Out-of-core scale presets (sharded on first use; "
+                "`train`/`export` stream them)",
+                ["name", "users", "items", "~train", "clusters"],
+                scale_rows, precision=0)
     return 0
+
+
+def _loss_kwargs(args) -> dict:
+    if args.loss == "sl":
+        return {"tau": args.tau}
+    if args.loss == "bsl":
+        return {"tau1": args.tau1 or args.tau, "tau2": args.tau}
+    return {}
 
 
 def _train_spec(args) -> ExperimentSpec:
     """Translate parsed ``train``/``export`` flags into an ExperimentSpec."""
-    loss_kwargs = {}
-    if args.loss == "sl":
-        loss_kwargs = {"tau": args.tau}
-    elif args.loss == "bsl":
-        loss_kwargs = {"tau1": args.tau1 or args.tau, "tau2": args.tau}
     return ExperimentSpec(
         dataset=args.dataset, model=args.model, loss=args.loss,
-        loss_kwargs=loss_kwargs, dim=args.dim, epochs=args.epochs,
+        loss_kwargs=_loss_kwargs(args), dim=args.dim, epochs=args.epochs,
         learning_rate=args.lr, n_negatives=args.negatives,
         positive_noise=getattr(args, "positive_noise", 0.0),
         rnoise=getattr(args, "rnoise", 0.0), seed=args.seed)
 
 
+def _scale_table_dir(name: str, dim: int, seed: int):
+    """Where a scale preset's trained mmap tables live."""
+    from repro.data import scale_cache_root
+    return scale_cache_root() / name / f"tables-dim{dim}-seed{seed}"
+
+
+def _train_scale(args) -> int:
+    """Out-of-core training for a scale preset (the ``train`` verb path).
+
+    Streams the preset's interaction shards through the sparse-grad
+    trainer into freshly initialized mmap-backed MF tables — peak RSS
+    follows the touched rows, never the catalogue.  The tables stay in
+    the scale cache for ``repro export`` to freeze.
+    """
+    from repro.data import load_scale_source
+    from repro.losses.registry import get_loss
+    from repro.train import (TrainConfig, Trainer, flush_model,
+                             init_mmap_mf_tables, open_mmap_mf)
+    if args.model != "mf":
+        raise SystemExit(
+            f"scale presets train out-of-core and support only "
+            f"--model mf (got {args.model!r})")
+    if getattr(args, "positive_noise", 0.0):
+        raise SystemExit(
+            "--positive-noise rewrites the dense dataset and is not "
+            "supported with scale presets")
+    source = load_scale_source(args.dataset)
+    table_dir = _scale_table_dir(args.dataset, args.dim, args.seed)
+    init_mmap_mf_tables(table_dir, source.num_users, source.num_items,
+                        args.dim, rng=args.seed)
+    model = open_mmap_mf(table_dir)
+    loss = get_loss(args.loss, **_loss_kwargs(args))
+    config = TrainConfig(
+        epochs=args.epochs, learning_rate=args.lr,
+        n_negatives=args.negatives, grad_mode="sparse", seed=args.seed,
+        rnoise=getattr(args, "rnoise", 0.0),
+        verbose=getattr(args, "verbose", False))
+    result = Trainer(model, loss, source, config).fit()
+    flush_model(model)
+    print_table(
+        f"{args.model}+{args.loss} on {args.dataset} (out-of-core)",
+        ["field", "value"],
+        [["users", source.num_users], ["items", source.num_items],
+         ["train pairs", source.num_train], ["epochs", args.epochs],
+         ["final loss", f"{result.final_loss:.4f}"],
+         ["tables", str(table_dir)]], precision=0)
+    return 0
+
+
 def _cmd_train(args) -> int:
     """Train one experiment cell and print its evaluation metrics."""
+    if args.dataset in SCALE_PRESETS:
+        return _train_scale(args)
     spec = _train_spec(args)
     result = run_experiment(spec, verbose=args.verbose)
     print_table(f"{args.model}+{args.loss} on {args.dataset}",
@@ -109,47 +172,52 @@ def _cmd_sweep_tau(args) -> int:
     return 0
 
 
-def _cmd_perf(args) -> int:
-    """Run the fast-path perf suite and write ``BENCH_fastpath.json``."""
-    from repro.experiments.perf import (PerfConfig, run_perf_suite,
-                                        summarize, write_report)
-    config = PerfConfig(
-        dataset=args.dataset,
-        models=tuple(args.models.split(",")),
-        losses=tuple(args.losses.split(",")),
-        dim=args.dim, steps=args.steps, warmup=args.warmup,
-        batch_size=args.batch_size, n_negatives=args.negatives,
-        eval_repeats=args.eval_repeats,
-        include_reference=not args.no_reference, seed=args.seed)
-    payload = run_perf_suite(config)
-    write_report(payload, args.out)
-    print(summarize(payload))
-    print(f"wrote {args.out}")
-    return 0
+def _cmd_bench(args) -> int:
+    """Dispatch ``repro bench <suite>`` through the registry."""
+    return get_suite(args.suite).run(args)
 
 
-def _cmd_perf_train(args) -> int:
-    """Run the training-throughput suite and write ``BENCH_train.json``.
+def _export_scale(args) -> int:
+    """Out-of-core export for a scale preset (the ``export`` verb path).
 
-    Sweeps ``--scales`` catalogue inflations of ``--dataset`` and times
-    each (loss, grad mode) cell; unless ``--no-quality`` an end-to-end
-    run per grad mode records final NDCG@20 on the base dataset.
+    Trains the preset's tables in place (same as ``repro train``) and
+    freezes them with
+    :func:`repro.serve.export_sharded_source_snapshot`: table rows are
+    copied shard by shard from the memmaps and the seen-item CSR comes
+    straight from the interaction shards, so no dense per-catalogue
+    intermediate is ever built.  Scale exports are always sharded
+    (``--shards`` defaults to 4 here).
     """
-    from repro.experiments.perf import (TrainPerfConfig, run_train_suite,
-                                        summarize_train, write_report)
-    config = TrainPerfConfig(
-        dataset=args.dataset, model=args.model,
-        losses=tuple(args.losses.split(",")),
-        catalogue_scales=tuple(int(s) for s in args.scales.split(",")),
-        dim=args.dim, steps=args.steps, warmup=args.warmup,
-        batch_size=args.batch_size, n_negatives=args.negatives,
-        sparse_mode=args.sparse_mode,
-        quality_epochs=0 if args.no_quality else args.quality_epochs,
-        seed=args.seed)
-    payload = run_train_suite(config)
-    write_report(payload, args.out)
-    print(summarize_train(payload))
-    print(f"wrote {args.out}")
+    import numpy as np
+
+    from repro.data import load_scale_source
+    from repro.serve import export_sharded_source_snapshot
+    from repro.train.outofcore import ITEM_TABLE, USER_TABLE
+    if args.checkpoint:
+        raise SystemExit(
+            "--checkpoint is not supported with scale presets; tables "
+            "are trained in place under the scale cache")
+    _train_scale(args)
+    source = load_scale_source(args.dataset)
+    table_dir = _scale_table_dir(args.dataset, args.dim, args.seed)
+    users = np.load(table_dir / USER_TABLE, mmap_mode="r")
+    items = np.load(table_dir / ITEM_TABLE, mmap_mode="r")
+    shards = args.shards or 4
+    snapshot = export_sharded_source_snapshot(
+        users, items, source, args.out, shards=shards,
+        partition_by=args.partition_by, strategy=args.partition,
+        model_name=args.model,
+        extra={"loss": args.loss, "epochs": args.epochs,
+               "scale_preset": args.dataset})
+    manifest = snapshot.manifest
+    print_table(
+        f"sharded snapshot {args.out}", ["field", "value"],
+        [["version", manifest.version], ["model", manifest.model],
+         ["user shards", manifest.num_user_shards],
+         ["item shards", manifest.num_item_shards],
+         ["partition", f"{manifest.strategy} by {manifest.partition_by}"],
+         ["users", manifest.num_users], ["items", manifest.num_items],
+         ["scoring", manifest.scoring]], precision=0)
     return 0
 
 
@@ -160,10 +228,14 @@ def _cmd_export(args) -> int:
     ``--checkpoint``, rebuilds the model and loads previously saved
     parameters before exporting.  With ``--shards N`` the snapshot is
     written horizontally partitioned (``--partition-by`` picks the
-    sharded axes, ``--partition`` the placement scheme).
+    sharded axes, ``--partition`` the placement scheme).  Scale presets
+    take the out-of-core path: mmap tables + interaction shards, always
+    sharded.
     """
     from repro.serve import export_sharded_snapshot, export_snapshot
 
+    if args.dataset in SCALE_PRESETS:
+        return _export_scale(args)
     if args.checkpoint:
         from repro.models import get_model
         from repro.train.checkpoint import load_checkpoint
@@ -293,65 +365,6 @@ def _cmd_recommend(args) -> int:
     return 0
 
 
-def _cmd_perf_serve(args) -> int:
-    """Run the serving perf suite and write ``BENCH_serve.json``.
-
-    With ``--ann`` the IVF recall/throughput frontier is also swept and
-    written to ``--ann-out`` (``BENCH_ann.json``); ``--ann-only`` skips
-    the serve grid and runs just the frontier (what ``make bench-ann``
-    does).
-    """
-    from repro.experiments.perf import (AnnPerfConfig, ServePerfConfig,
-                                        run_ann_suite, run_serve_suite,
-                                        summarize_ann, summarize_serve,
-                                        write_report)
-    if not args.ann_only:
-        shards = tuple(int(s) for s in args.shards.split(",")) \
-            if args.shards else ()
-        config = ServePerfConfig(
-            dataset=args.dataset, model=args.model, loss=args.loss,
-            epochs=args.epochs, dim=args.dim, k=args.k,
-            batch_sizes=tuple(int(b) for b in args.batch_sizes.split(",")),
-            repeats=args.repeats, request_users=args.request_users,
-            shards=shards, partition_by=args.partition_by,
-            include_quantized=not args.no_quantized, seed=args.seed)
-        payload = run_serve_suite(config)
-        write_report(payload, args.out)
-        print(summarize_serve(payload))
-        print(f"wrote {args.out}")
-    if args.ann or args.ann_only:
-        ann_config = AnnPerfConfig(
-            dataset=args.dataset, k=args.k,
-            nlists=tuple(int(n) for n in args.ann_nlists.split(",")),
-            nprobes=tuple(int(p) for p in args.ann_nprobes.split(",")),
-            loss=args.ann_loss, epochs=args.ann_epochs, seed=args.seed)
-        ann_payload = run_ann_suite(ann_config)
-        write_report(ann_payload, args.ann_out)
-        print(summarize_ann(ann_payload))
-        print(f"wrote {args.ann_out}")
-    return 0
-
-
-def _cmd_perf_latency(args) -> int:
-    """Run the latency-frontier suite and write ``BENCH_latency.json``."""
-    from repro.experiments.perf import (LatencyPerfConfig, run_latency_suite,
-                                        summarize_latency, write_report)
-    config = LatencyPerfConfig(
-        dataset=args.dataset, model=args.model, loss=args.loss,
-        epochs=args.epochs, dim=args.dim, k=args.k,
-        start_qps=args.start_qps, qps_step=args.qps_step,
-        max_levels=args.max_levels,
-        requests_per_level=args.requests_per_level,
-        saturation_ratio=args.saturation_ratio, slo_ms=args.slo_ms,
-        max_queue=args.max_queue, initial_batch=args.initial_batch,
-        max_batch=args.max_batch, window=args.window, seed=args.seed)
-    payload = run_latency_suite(config)
-    write_report(payload, args.out)
-    print(summarize_latency(payload))
-    print(f"wrote {args.out}")
-    return 0
-
-
 def _cmd_delta_export(args) -> int:
     """Diff two exported snapshots into a delta directory.
 
@@ -450,28 +463,12 @@ def _cmd_refresh(args) -> int:
     return 0
 
 
-def _cmd_perf_refresh(args) -> int:
-    """Run the live-refresh churn suite and write ``BENCH_refresh.json``."""
-    from repro.experiments.perf import (RefreshPerfConfig, run_refresh_suite,
-                                        summarize_refresh, write_report)
-    config = RefreshPerfConfig(
-        dataset=args.dataset, model=args.model, loss=args.loss,
-        epochs=args.epochs, dim=args.dim, k=args.k, nlist=args.nlist,
-        nprobe=args.nprobe,
-        churn_fractions=tuple(float(f) for f in args.churn.split(",")),
-        repeats=args.repeats, requests=args.requests, qps=args.qps,
-        seed=args.seed)
-    payload = run_refresh_suite(config)
-    write_report(payload, args.out)
-    print(summarize_refresh(payload))
-    print(f"wrote {args.out}")
-    return 0
-
-
 def _add_train_cell_args(parser: argparse.ArgumentParser) -> None:
     """Flags shared by every verb that trains one (model, loss) cell."""
     parser.add_argument("--dataset", default="yelp2018-small",
-                        choices=dataset_names())
+                        choices=dataset_names() + scale_preset_names(),
+                        help="built-in preset, or a scale preset for the "
+                             "out-of-core path")
     parser.add_argument("--model", default="mf", choices=model_names())
     parser.add_argument("--loss", default="bsl", choices=loss_names())
     parser.add_argument("--tau", type=float, default=0.4,
@@ -492,9 +489,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description="BSL reproduction command line")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("datasets", help="list built-in dataset presets")
+    sub.add_parser("datasets", help="list built-in dataset and scale presets")
 
-    train = sub.add_parser("train", help="train one experiment cell")
+    train = sub.add_parser("train", help="train one experiment cell "
+                                         "(scale presets run out-of-core)")
     _add_train_cell_args(train)
     train.add_argument("--positive-noise", type=float, default=0.0)
     train.add_argument("--rnoise", type=float, default=0.0)
@@ -508,56 +506,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--epochs", type=int, default=18)
     sweep.add_argument("--seed", type=int, default=0)
 
-    perf = sub.add_parser(
-        "perf", help="time train/eval throughput, write BENCH_fastpath.json")
-    perf.add_argument("--dataset", default="yelp2018-small",
-                      choices=dataset_names())
-    perf.add_argument("--models", default="mf,lightgcn,simgcl",
-                      help="comma-separated model registry names")
-    perf.add_argument("--losses", default="sl,bsl",
-                      help="comma-separated loss registry names")
-    perf.add_argument("--dim", type=int, default=64)
-    perf.add_argument("--steps", type=int, default=15,
-                      help="timed optimizer steps per cell")
-    perf.add_argument("--warmup", type=int, default=3)
-    perf.add_argument("--batch-size", type=int, default=1024)
-    perf.add_argument("--negatives", type=int, default=128)
-    perf.add_argument("--eval-repeats", type=int, default=3)
-    perf.add_argument("--no-reference", action="store_true",
-                      help="skip the compositional/uncached baseline rows")
-    perf.add_argument("--seed", type=int, default=0)
-    perf.add_argument("--out", default="BENCH_fastpath.json")
-
-    perf_train = sub.add_parser(
-        "perf-train",
-        help="time dense-vs-sparse training throughput, "
-             "write BENCH_train.json")
-    perf_train.add_argument("--dataset", default="yelp2018-small",
-                            choices=dataset_names())
-    perf_train.add_argument("--model", default="mf", choices=model_names())
-    perf_train.add_argument("--losses", default="bpr,bsl",
-                            help="comma-separated loss registry names")
-    perf_train.add_argument("--scales", default="1,8,64",
-                            help="comma-separated catalogue inflation "
-                                 "factors")
-    perf_train.add_argument("--dim", type=int, default=64)
-    perf_train.add_argument("--steps", type=int, default=15,
-                            help="timed optimizer steps per cell")
-    perf_train.add_argument("--warmup", type=int, default=3)
-    perf_train.add_argument("--batch-size", type=int, default=1024)
-    perf_train.add_argument("--negatives", type=int, default=128)
-    perf_train.add_argument("--sparse-mode", default="lazy",
-                            choices=("lazy", "exact"),
-                            help="sparse-optimizer mode for the sparse rows")
-    perf_train.add_argument("--quality-epochs", type=int, default=16,
-                            help="epochs of the end-to-end NDCG comparison")
-    perf_train.add_argument("--no-quality", action="store_true",
-                            help="skip the end-to-end quality rows")
-    perf_train.add_argument("--seed", type=int, default=0)
-    perf_train.add_argument("--out", default="BENCH_train.json")
+    bench = sub.add_parser(
+        "bench",
+        help="run a registered benchmark suite "
+             "(fastpath/train/serve/ann/latency/refresh/scale)")
+    bench_sub = bench.add_subparsers(dest="suite", required=True)
+    add_bench_subparsers(bench_sub)
 
     export = sub.add_parser(
-        "export", help="train (or load) a model and export a serving snapshot")
+        "export", help="train (or load) a model and export a serving "
+                       "snapshot (scale presets export out-of-core)")
     _add_train_cell_args(export)
     export.add_argument("--checkpoint", default=None,
                         help="load parameters from a .npz checkpoint "
@@ -566,7 +524,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="snapshot output directory")
     export.add_argument("--shards", type=int, default=0,
                         help="write a sharded snapshot with this many "
-                             "partitions per sharded axis (0 = unsharded)")
+                             "partitions per sharded axis (0 = unsharded; "
+                             "scale presets always shard, default 4)")
     export.add_argument("--partition-by", default="both",
                         choices=("user", "item", "both"),
                         help="which axes to shard (with --shards)")
@@ -618,79 +577,6 @@ def build_parser() -> argparse.ArgumentParser:
     recommend.add_argument("--verify", action="store_true",
                            help="check the snapshot content hash before serving")
 
-    perf_serve = sub.add_parser(
-        "perf-serve",
-        help="time snapshot serving throughput, write BENCH_serve.json")
-    perf_serve.add_argument("--dataset", default="yelp2018-small",
-                            choices=dataset_names())
-    perf_serve.add_argument("--model", default="mf", choices=model_names())
-    perf_serve.add_argument("--loss", default="bsl", choices=loss_names())
-    perf_serve.add_argument("--epochs", type=int, default=8)
-    perf_serve.add_argument("--dim", type=int, default=64)
-    perf_serve.add_argument("--k", type=int, default=DEFAULT_TOP_K)
-    perf_serve.add_argument("--batch-sizes", default="1,16,256",
-                            help="comma-separated request batch sizes")
-    perf_serve.add_argument("--repeats", type=int, default=3)
-    perf_serve.add_argument("--request-users", type=int, default=1024,
-                            help="request stream length per timing pass")
-    perf_serve.add_argument("--shards", default="2,4",
-                            help="comma-separated shard counts for the "
-                                 "sharded sweep ('' to skip)")
-    perf_serve.add_argument("--partition-by", default="both",
-                            choices=("user", "item", "both"),
-                            help="sharded-sweep partition axes")
-    perf_serve.add_argument("--no-quantized", action="store_true",
-                            help="skip the int8 index rows")
-    perf_serve.add_argument("--seed", type=int, default=0)
-    perf_serve.add_argument("--out", default="BENCH_serve.json")
-    perf_serve.add_argument("--ann", action="store_true",
-                            help="also sweep the IVF recall/throughput "
-                                 "frontier into --ann-out")
-    perf_serve.add_argument("--ann-only", action="store_true",
-                            help="run only the ANN frontier (implies --ann)")
-    perf_serve.add_argument("--ann-out", default="BENCH_ann.json")
-    perf_serve.add_argument("--ann-nlists", default="8,16,32",
-                            help="comma-separated IVF list counts")
-    perf_serve.add_argument("--ann-nprobes", default="1,2,4",
-                            help="comma-separated probe counts")
-    perf_serve.add_argument("--ann-loss", default="bpr", choices=loss_names(),
-                            help="loss of the ANN suite's trained cell "
-                                 "(pairwise losses cluster best; see "
-                                 "docs/ann.md)")
-    perf_serve.add_argument("--ann-epochs", type=int, default=25)
-
-    perf_latency = sub.add_parser(
-        "perf-latency",
-        help="sweep offered load through the async serving runtime, "
-             "write BENCH_latency.json")
-    perf_latency.add_argument("--dataset", default="yelp2018-small",
-                              choices=dataset_names())
-    perf_latency.add_argument("--model", default="mf",
-                              choices=model_names())
-    perf_latency.add_argument("--loss", default="bsl",
-                              choices=loss_names())
-    perf_latency.add_argument("--epochs", type=int, default=8)
-    perf_latency.add_argument("--dim", type=int, default=64)
-    perf_latency.add_argument("--k", type=int, default=DEFAULT_TOP_K)
-    perf_latency.add_argument("--start-qps", type=float, default=200.0,
-                              help="offered load of the first sweep level")
-    perf_latency.add_argument("--qps-step", type=float, default=2.0,
-                              help="multiplicative step between levels")
-    perf_latency.add_argument("--max-levels", type=int, default=8)
-    perf_latency.add_argument("--requests-per-level", type=int, default=512)
-    perf_latency.add_argument("--saturation-ratio", type=float, default=0.9,
-                              help="stop once achieved/offered drops below")
-    perf_latency.add_argument("--slo-ms", type=float, default=50.0,
-                              help="runtime p99 latency target")
-    perf_latency.add_argument("--max-queue", type=int, default=256,
-                              help="admission-queue bound (sheds past it)")
-    perf_latency.add_argument("--initial-batch", type=int, default=8)
-    perf_latency.add_argument("--max-batch", type=int, default=256)
-    perf_latency.add_argument("--window", type=int, default=64,
-                              help="completions between batch adaptations")
-    perf_latency.add_argument("--seed", type=int, default=0)
-    perf_latency.add_argument("--out", default="BENCH_latency.json")
-
     delta_export = sub.add_parser(
         "delta-export",
         help="diff two snapshots into a content-hash-chained delta")
@@ -734,32 +620,7 @@ def build_parser() -> argparse.ArgumentParser:
     refresh.add_argument("--verify", action="store_true",
                          help="check the snapshot content hash first")
 
-    perf_refresh = sub.add_parser(
-        "perf-refresh",
-        help="sweep catalogue churn through the live-refresh path, "
-             "write BENCH_refresh.json")
-    perf_refresh.add_argument("--dataset", default="yelp2018-small",
-                              choices=dataset_names())
-    perf_refresh.add_argument("--model", default="mf",
-                              choices=model_names())
-    perf_refresh.add_argument("--loss", default="bsl",
-                              choices=loss_names())
-    perf_refresh.add_argument("--epochs", type=int, default=8)
-    perf_refresh.add_argument("--dim", type=int, default=64)
-    perf_refresh.add_argument("--k", type=int, default=DEFAULT_TOP_K)
-    perf_refresh.add_argument("--nlist", type=int, default=16,
-                              help="inverted lists of the maintained index")
-    perf_refresh.add_argument("--nprobe", type=int, default=2)
-    perf_refresh.add_argument("--churn", default="0.01,0.05,0.2",
-                              help="comma-separated catalogue churn "
-                                   "fractions")
-    perf_refresh.add_argument("--repeats", type=int, default=3,
-                              help="best-of timing repeats per clock")
-    perf_refresh.add_argument("--requests", type=int, default=256,
-                              help="paced lookups around each swap")
-    perf_refresh.add_argument("--qps", type=float, default=2000.0)
-    perf_refresh.add_argument("--seed", type=int, default=0)
-    perf_refresh.add_argument("--out", default="BENCH_refresh.json")
+    add_legacy_verbs(sub)
     return parser
 
 
@@ -767,15 +628,14 @@ def main(argv=None) -> int:
     """Parse ``argv`` (default: ``sys.argv``) and dispatch a subcommand."""
     args = build_parser().parse_args(argv)
     handlers = {"datasets": _cmd_datasets, "train": _cmd_train,
-                "sweep-tau": _cmd_sweep_tau, "perf": _cmd_perf,
-                "perf-train": _cmd_perf_train, "export": _cmd_export,
+                "sweep-tau": _cmd_sweep_tau, "bench": _cmd_bench,
+                "export": _cmd_export,
                 "build-ann": _cmd_build_ann, "recommend": _cmd_recommend,
-                "perf-serve": _cmd_perf_serve,
-                "perf-latency": _cmd_perf_latency,
                 "delta-export": _cmd_delta_export,
                 "apply-deltas": _cmd_apply_deltas,
-                "refresh": _cmd_refresh,
-                "perf-refresh": _cmd_perf_refresh}
+                "refresh": _cmd_refresh}
+    for verb in ALIAS_VERBS:
+        handlers[verb] = lambda a, v=verb: run_legacy(v, a)
     return handlers[args.command](args)
 
 

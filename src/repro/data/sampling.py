@@ -5,6 +5,17 @@ The paper trains with either *uniform negative sampling* (MF) or
 robustness by letting the sampler draw false negatives at a controlled
 rate ``rnoise`` (Sec. III-B, Figs. 3/8): ``rnoise`` is the ratio of the
 sampling probability of a positive item to that of a negative item.
+
+Samplers read training data through the
+:class:`~repro.data.source.InteractionSource` protocol, so the same code
+drives an in-memory :class:`~repro.data.dataset.InteractionDataset` and
+an out-of-core :class:`~repro.data.source.ShardedInteractionSource`.
+Every per-batch operation touches only the batch's users — collision
+detection runs against batch-gathered sorted positives
+(:func:`~repro.data.source.batch_contains`) instead of a dense
+``num_users × num_items`` mask — and the RNG call sequence is identical
+to the historical dataset-backed implementation, so draws are
+bit-reproducible across both backends (``tests/test_data_source.py``).
 """
 
 from __future__ import annotations
@@ -13,7 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.data.dataset import InteractionDataset
+from repro.data.source import as_source, batch_contains
 from repro.tensor.random import ensure_rng
 
 __all__ = ["TrainingBatch", "UniformNegativeSampler", "InBatchSampler",
@@ -39,17 +50,16 @@ class TrainingBatch:
 class _PairShuffler:
     """Shared epoch logic: shuffle training pairs and cut mini-batches."""
 
-    def __init__(self, dataset: InteractionDataset, batch_size: int, rng=None):
+    def __init__(self, dataset, batch_size: int, rng=None):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.dataset = dataset
+        self.source = as_source(dataset)
         self.batch_size = batch_size
         self._rng = ensure_rng(rng)
 
-    def _epoch_pairs(self) -> np.ndarray:
-        pairs = self.dataset.train_pairs
-        order = self._rng.permutation(len(pairs))
-        return pairs[order]
+    def _epoch_order(self) -> np.ndarray:
+        return self._rng.permutation(self.source.num_train)
 
 
 class UniformNegativeSampler(_PairShuffler):
@@ -71,7 +81,7 @@ class UniformNegativeSampler(_PairShuffler):
         user's training positives, giving clean negatives.
     """
 
-    def __init__(self, dataset: InteractionDataset, n_negatives: int = 64,
+    def __init__(self, dataset, n_negatives: int = 64,
                  batch_size: int = 1024, rnoise: float = 0.0,
                  exclude_positives: bool = True, rng=None):
         super().__init__(dataset, batch_size, rng)
@@ -85,15 +95,15 @@ class UniformNegativeSampler(_PairShuffler):
 
     def epoch(self):
         """Yield :class:`TrainingBatch` objects covering one epoch."""
-        pairs = self._epoch_pairs()
-        for lo in range(0, len(pairs), self.batch_size):
-            chunk = pairs[lo:lo + self.batch_size]
+        order = self._epoch_order()
+        for lo in range(0, len(order), self.batch_size):
+            chunk = self.source.pairs(order[lo:lo + self.batch_size])
             users, positives = chunk[:, 0], chunk[:, 1]
             negatives = self._draw_negatives(users)
             yield TrainingBatch(users, positives, negatives)
 
     def _draw_negatives(self, users: np.ndarray) -> np.ndarray:
-        n_items = self.dataset.num_items
+        n_items = self.source.num_items
         negatives = self._rng.integers(
             0, n_items, size=(len(users), self.n_negatives))
         if self.rnoise > 0:
@@ -112,11 +122,11 @@ class UniformNegativeSampler(_PairShuffler):
 
         Vectorized: per-row slot-corruption probabilities follow the
         paper's definition, and the replacement items are drawn from the
-        padded positive matrix in one gather.
+        batch's padded positive rows in one gather.
         """
-        padded, degrees = self.dataset.padded_positives()
-        deg = degrees[users].astype(np.float64)                     # (B,)
-        n_neg = self.dataset.num_items - deg
+        padded, degrees = self.source.batch_padded_positives(users)
+        deg = degrees.astype(np.float64)                            # (B,)
+        n_neg = self.source.num_items - deg
         with np.errstate(divide="ignore", invalid="ignore"):
             p_pos = np.where(deg > 0,
                              self.rnoise * deg / (self.rnoise * deg + n_neg),
@@ -126,7 +136,8 @@ class UniformNegativeSampler(_PairShuffler):
             return
         slot = (self._rng.random(negatives.shape)
                 * np.maximum(deg, 1.0)[:, None]).astype(np.int64)
-        replacements = padded[users[:, None], slot]
+        batch_rows = np.arange(len(users), dtype=np.int64)
+        replacements = padded[batch_rows[:, None], slot]
         negatives[corrupt] = replacements[corrupt]
 
     def _resample_collisions(self, users: np.ndarray,
@@ -140,27 +151,26 @@ class UniformNegativeSampler(_PairShuffler):
         the ``j``-th positive occupies complement-shifted value
         ``p_j - j``, so the answer is ``r + |{j : p_j - j <= r}|`` —
         fully vectorized, no rejection rounds, and the output is
-        *exactly* uniform over the complement (the old reject-and-redraw
-        loop only approached that distribution and could leave
-        collisions after its 20 rounds).
+        *exactly* uniform over the complement.  Collision detection and
+        the rank mapping both run on batch-gathered sorted positives, so
+        memory follows the batch, not the catalogue; pad sentinels
+        exceed ``num_items + width`` and therefore never count.
 
         Users whose positives cover the whole catalogue have an empty
         complement; their slots are left untouched (a collision is
-        unavoidable), matching the old loop's give-up behaviour.
+        unavoidable).
         """
-        mask = self.dataset.positive_mask()
-        collisions = mask[users[:, None], negatives]
+        padded, degrees = self.source.batch_sorted_positives(users)
+        collisions = batch_contains(padded, negatives)
         if not collisions.any():
             return
         rows, cols = np.nonzero(collisions)
-        c_users = users[rows]
-        padded, degrees = self.dataset.sorted_padded_positives()
-        deg = degrees[c_users]
-        n_free = self.dataset.num_items - deg
+        deg = degrees[rows]
+        n_free = self.source.num_items - deg
         ok = n_free > 0
         r = self._rng.integers(0, np.maximum(n_free, 1))
         # rank -> item id: count positives at or below the landing spot
-        shifted = padded[c_users] - np.arange(padded.shape[1])[None, :]
+        shifted = padded[rows] - np.arange(padded.shape[1])[None, :]
         redrawn = r + (shifted <= r[:, None]).sum(axis=1)
         negatives[rows[ok], cols[ok]] = redrawn[ok]
 
@@ -173,18 +183,18 @@ class PopularityNegativeSampler(UniformNegativeSampler):
     yields it, so benches compare the two.
     """
 
-    def __init__(self, dataset: InteractionDataset, n_negatives: int = 64,
+    def __init__(self, dataset, n_negatives: int = 64,
                  batch_size: int = 1024, beta: float = 0.75, rng=None):
         super().__init__(dataset, n_negatives=n_negatives,
                          batch_size=batch_size, rnoise=0.0,
                          exclude_positives=False, rng=rng)
-        weights = np.maximum(dataset.item_popularity, 1) ** beta
+        weights = np.maximum(self.source.item_popularity, 1) ** beta
         self._probs = weights / weights.sum()
         self.beta = beta
 
     def _draw_negatives(self, users: np.ndarray) -> np.ndarray:
         return self._rng.choice(
-            self.dataset.num_items, size=(len(users), self.n_negatives),
+            self.source.num_items, size=(len(users), self.n_negatives),
             p=self._probs)
 
 
@@ -196,9 +206,9 @@ class InBatchSampler(_PairShuffler):
     """
 
     def epoch(self):
-        pairs = self._epoch_pairs()
-        for lo in range(0, len(pairs), self.batch_size):
-            chunk = pairs[lo:lo + self.batch_size]
+        order = self._epoch_order()
+        for lo in range(0, len(order), self.batch_size):
+            chunk = self.source.pairs(order[lo:lo + self.batch_size])
             if len(chunk) < 2:
                 continue  # a single pair has no in-batch negatives
             users, positives = chunk[:, 0], chunk[:, 1]

@@ -21,15 +21,22 @@ dense, Amazon is the sparsest, Yelp/Gowalla sit in between.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+import pathlib
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
 from repro.data.dataset import InteractionDataset
+from repro.data.source import (DEFAULT_BLOCK_ROWS, InteractionShardWriter,
+                               ShardedInteractionSource,
+                               is_interaction_shards)
 from repro.tensor.random import ensure_rng
 
 __all__ = ["SyntheticConfig", "SyntheticGenerator", "generate_dataset",
-           "load_dataset", "DATASET_PRESETS", "dataset_names"]
+           "load_dataset", "DATASET_PRESETS", "dataset_names",
+           "ScaleConfig", "SCALE_PRESETS", "scale_preset_names",
+           "generate_scale_shards", "load_scale_source", "scale_cache_root"]
 
 
 @dataclass
@@ -218,3 +225,161 @@ def load_dataset(name: str, use_cache: bool = True) -> InteractionDataset:
     if use_cache:
         _CACHE[name] = dataset
     return dataset
+
+
+# ----------------------------------------------------------------------
+# Million-scale out-of-core generator
+# ----------------------------------------------------------------------
+@dataclass
+class ScaleConfig:
+    """Knobs of the out-of-core power-law shard generator.
+
+    Same generative story as :class:`SyntheticConfig` — Zipf item
+    popularity, latent clusters, lognormal user degrees — but streamed:
+    item clusters are contiguous id blocks, per-user item draws are
+    inverse-CDF samples restricted to a cluster's popularity segment,
+    and pairs go straight to the on-disk shard layout of
+    :mod:`repro.data.source`.  Nothing ever materializes more than a
+    few bytes per entity (degrees, popularity CDF, item counts), so
+    1M+ x 1M+ catalogues generate in flat memory.  Duplicate
+    (user, item) pairs may occur, as in real implicit-feedback logs;
+    the CSR/degree accounting counts them exactly like
+    :class:`InteractionDataset` does.
+    """
+
+    num_users: int = 1_000_000
+    num_items: int = 1_000_000
+    num_clusters: int = 64
+    mean_interactions: float = 8.0
+    popularity_exponent: float = 1.0
+    cluster_affinity: float = 0.75
+    #: Degree clip keeps single users from dominating a shard block.
+    max_degree: int = 512
+    #: Users drawn per streaming chunk; bounds generator working memory.
+    users_per_chunk: int = 65_536
+    block_rows: int = DEFAULT_BLOCK_ROWS
+    seed: int = 0
+    name: str = "scale"
+
+    def __post_init__(self):
+        if self.num_clusters < 2:
+            raise ValueError("need at least 2 clusters")
+        if self.num_items < self.num_clusters:
+            raise ValueError("need at least one item per cluster")
+        if not 0.0 < self.cluster_affinity <= 1.0:
+            raise ValueError("cluster_affinity must lie in (0, 1]")
+        if self.mean_interactions <= 0:
+            raise ValueError("mean_interactions must be positive")
+        if self.users_per_chunk <= 0 or self.max_degree <= 0:
+            raise ValueError("users_per_chunk/max_degree must be positive")
+
+
+def _scale_degrees(cfg: ScaleConfig, rng) -> np.ndarray:
+    """Lognormal user degrees, drawn chunk-by-chunk, clipped to [1, max]."""
+    sigma = 0.5
+    mu = np.log(cfg.mean_interactions) - sigma ** 2 / 2
+    out = np.empty(cfg.num_users, dtype=np.int64)
+    cap = min(cfg.max_degree, cfg.num_items - 1)
+    for lo in range(0, cfg.num_users, cfg.users_per_chunk):
+        hi = min(lo + cfg.users_per_chunk, cfg.num_users)
+        draws = rng.lognormal(mu, sigma, size=hi - lo)
+        out[lo:hi] = np.clip(draws.round().astype(np.int64), 1, cap)
+    return out
+
+
+def generate_scale_shards(config: ScaleConfig,
+                          out_dir: str | pathlib.Path
+                          ) -> ShardedInteractionSource:
+    """Stream a power-law catalogue into an interaction-shard directory.
+
+    Two passes over the user range with one RNG: degrees first (so the
+    total pair count is known up front and the ``.npy`` headers can be
+    written before the data), then the per-chunk interaction draws.
+    Pairs are emitted grouped by ascending user, so the pair blocks
+    double as the CSR grouping.
+    """
+    cfg = config
+    rng = ensure_rng(cfg.seed)
+    degrees = _scale_degrees(cfg, rng)
+    num_train = int(degrees.sum())
+
+    # Popularity CDF over items; cluster c owns the contiguous id block
+    # [bounds[c], bounds[c + 1]).
+    weights = SyntheticGenerator._zipf_weights(
+        cfg.num_items, cfg.popularity_exponent, rng)
+    cdf = np.concatenate([np.zeros(1), np.cumsum(weights)])
+    bounds = np.linspace(0, cfg.num_items,
+                         cfg.num_clusters + 1).astype(np.int64)
+
+    writer = InteractionShardWriter(
+        out_dir, name=cfg.name, num_users=cfg.num_users,
+        num_items=cfg.num_items, num_train=num_train,
+        block_rows=cfg.block_rows, config=asdict(cfg))
+    for lo in range(0, cfg.num_users, cfg.users_per_chunk):
+        hi = min(lo + cfg.users_per_chunk, cfg.num_users)
+        chunk_degrees = degrees[lo:hi]
+        homes = rng.integers(0, cfg.num_clusters, size=hi - lo)
+        users = np.repeat(np.arange(lo, hi, dtype=np.int64), chunk_degrees)
+        home_rep = np.repeat(homes, chunk_degrees)
+        n = len(users)
+        stay = rng.random(n) < cfg.cluster_affinity
+        cluster = np.where(stay, home_rep,
+                           rng.integers(0, cfg.num_clusters, size=n))
+        seg_lo, seg_hi = bounds[cluster], bounds[cluster + 1]
+        # Inverse-CDF draw restricted to the cluster's popularity mass.
+        u = cdf[seg_lo] + rng.random(n) * (cdf[seg_hi] - cdf[seg_lo])
+        items = np.searchsorted(cdf, u, side="right") - 1
+        items = np.clip(items, seg_lo, seg_hi - 1)
+        writer.append(users, items)
+    return ShardedInteractionSource(writer.close())
+
+
+SCALE_PRESETS: dict[str, ScaleConfig] = {
+    # Reduced-size smoke level; also the nightly-CI out-of-core check.
+    "scale-100k": ScaleConfig(
+        num_users=100_000, num_items=100_000, num_clusters=32,
+        mean_interactions=10.0, seed=17, name="scale-100k"),
+    # Intermediate point so the RSS-vs-catalogue curve has a midpoint.
+    "scale-300k": ScaleConfig(
+        num_users=300_000, num_items=300_000, num_clusters=48,
+        mean_interactions=9.0, seed=19, name="scale-300k"),
+    # The million-scale proof point (ROADMAP item 1).
+    "scale-1m": ScaleConfig(
+        num_users=1_000_000, num_items=1_000_000, num_clusters=64,
+        mean_interactions=8.0, seed=23, name="scale-1m"),
+}
+
+
+def scale_preset_names() -> list[str]:
+    """Names accepted by :func:`load_scale_source`."""
+    return sorted(SCALE_PRESETS)
+
+
+def scale_cache_root() -> pathlib.Path:
+    """Where generated scale shards live (override: ``REPRO_SCALE_DIR``)."""
+    root = os.environ.get("REPRO_SCALE_DIR")
+    if root:
+        return pathlib.Path(root)
+    return pathlib.Path.home() / ".cache" / "repro-scale"
+
+
+def load_scale_source(name: str,
+                      root: str | pathlib.Path | None = None
+                      ) -> ShardedInteractionSource:
+    """Open (generating on first use) a scale preset's shard directory.
+
+    Generation is pure in the preset config, so an existing directory is
+    reused iff its manifest records the same config; anything else is
+    regenerated in place.
+    """
+    if name not in SCALE_PRESETS:
+        raise KeyError(
+            f"unknown scale preset {name!r}; available: {scale_preset_names()}")
+    cfg = SCALE_PRESETS[name]
+    out_dir = pathlib.Path(root) if root is not None else scale_cache_root()
+    out_dir = out_dir / name
+    if is_interaction_shards(out_dir):
+        source = ShardedInteractionSource(out_dir)
+        if source.manifest.get("config") == asdict(cfg):
+            return source
+    return generate_scale_shards(cfg, out_dir)

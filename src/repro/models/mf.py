@@ -24,15 +24,25 @@ class MF(Recommender):
         See :class:`~repro.models.base.Recommender`.
     rng:
         Seed or generator for Xavier initialization.
+    tables:
+        Optional pre-built ``(user_table, item_table)`` pair wrapped
+        as-is instead of drawing fresh Xavier tables — the out-of-core
+        path (:mod:`repro.train.outofcore`) passes writable memmaps so
+        training updates the on-disk tables in place.
     """
 
     def __init__(self, num_users: int, num_items: int, dim: int = 64,
-                 rng=None):
+                 rng=None, tables=None):
         super().__init__(num_users, num_items, dim,
                          train_scoring="cosine", test_scoring="cosine")
-        user_rng, item_rng = spawn_rngs(rng, 2)
-        self.user_embedding = Embedding(num_users, dim, rng=user_rng)
-        self.item_embedding = Embedding(num_items, dim, rng=item_rng)
+        if tables is not None:
+            user_table, item_table = tables
+            self.user_embedding = Embedding(num_users, dim, weight=user_table)
+            self.item_embedding = Embedding(num_items, dim, weight=item_table)
+        else:
+            user_rng, item_rng = spawn_rngs(rng, 2)
+            self.user_embedding = Embedding(num_users, dim, rng=user_rng)
+            self.item_embedding = Embedding(num_items, dim, rng=item_rng)
 
     def propagate(self) -> tuple[Tensor, Tensor]:
         return self.user_embedding.all(), self.item_embedding.all()

@@ -35,16 +35,33 @@ class Embedding(Module):
         gathered rows — pair with ``SparseAdam``/``SparseSGD``; dense
         optimizers reject sparse gradients.  Mirrors
         ``torch.nn.Embedding(sparse=True)``.
+    weight:
+        Pre-built ``(num_embeddings, dim)`` float64 table to wrap
+        instead of drawing a fresh one — the out-of-core path passes a
+        writable ``np.memmap`` here so optimizer updates land directly
+        in the on-disk table.  Mutually exclusive with ``init``/``rng``.
     """
 
     def __init__(self, num_embeddings: int, dim: int, init=None, rng=None,
-                 sparse_grad: bool = False):
+                 sparse_grad: bool = False, weight=None):
         super().__init__()
         if num_embeddings <= 0 or dim <= 0:
             raise ValueError("num_embeddings and dim must be positive, got "
                              f"{num_embeddings} x {dim}")
-        initializer = init if init is not None else xavier_uniform
-        self.weight = Parameter(initializer((num_embeddings, dim), rng=rng))
+        if weight is not None:
+            if init is not None or rng is not None:
+                raise ValueError("weight= is mutually exclusive with "
+                                 "init=/rng=")
+            if weight.shape != (num_embeddings, dim):
+                raise ValueError(f"weight shape {weight.shape} does not match "
+                                 f"({num_embeddings}, {dim})")
+            if weight.dtype != np.float64:
+                raise ValueError(f"weight must be float64, got {weight.dtype}")
+            self.weight = Parameter(weight)
+        else:
+            initializer = init if init is not None else xavier_uniform
+            self.weight = Parameter(initializer((num_embeddings, dim),
+                                                rng=rng))
         self.num_embeddings = num_embeddings
         self.dim = dim
         self.sparse_grad = bool(sparse_grad)

@@ -11,7 +11,7 @@ import numpy as np
 
 from repro.tensor.random import ensure_rng
 
-__all__ = ["xavier_uniform", "xavier_normal", "normal"]
+__all__ = ["xavier_uniform", "xavier_normal", "normal", "xavier_limit"]
 
 
 def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
@@ -23,11 +23,22 @@ def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
     return shape[1] * receptive, shape[0] * receptive
 
 
+def xavier_limit(shape, gain: float = 1.0) -> float:
+    """The Glorot-uniform bound ``a = gain * sqrt(6 / (fan_in+fan_out))``.
+
+    Exposed so chunked initializers (e.g. the out-of-core table builder
+    in :mod:`repro.train.outofcore`) can draw row blocks with the bound
+    of the *full* table and stay byte-identical to a one-shot
+    :func:`xavier_uniform` call over the same RNG.
+    """
+    fan_in, fan_out = _fans(tuple(shape))
+    return gain * np.sqrt(6.0 / (fan_in + fan_out))
+
+
 def xavier_uniform(shape, gain: float = 1.0, rng=None) -> np.ndarray:
     """Glorot uniform: U(-a, a) with ``a = gain * sqrt(6 / (fan_in+fan_out))``."""
     rng = ensure_rng(rng)
-    fan_in, fan_out = _fans(tuple(shape))
-    a = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    a = xavier_limit(shape, gain)
     return rng.uniform(-a, a, size=shape)
 
 

@@ -57,6 +57,7 @@ from repro.serve.snapshot import (SHARD_SCHEMA, SHARDED_SCHEMA,
                                   SNAPSHOT_SCHEMA, EmbeddingSnapshot,
                                   ShardManifest, ShardedManifest,
                                   SnapshotManifest, export_sharded_snapshot,
+                                  export_sharded_source_snapshot,
                                   export_snapshot, is_sharded_snapshot,
                                   load_snapshot, partition_ids)
 
@@ -64,7 +65,8 @@ __all__ = [
     "SNAPSHOT_SCHEMA", "SHARD_SCHEMA", "SHARDED_SCHEMA",
     "SnapshotManifest", "ShardManifest", "ShardedManifest",
     "EmbeddingSnapshot", "export_snapshot", "load_snapshot",
-    "partition_ids", "export_sharded_snapshot", "is_sharded_snapshot",
+    "partition_ids", "export_sharded_snapshot",
+    "export_sharded_source_snapshot", "is_sharded_snapshot",
     "PANEL_WIDTH", "TopKResult", "TopKIndex", "ExactTopKIndex",
     "QuantizedTopKIndex", "build_index",
     "UserShard", "ItemShard", "ItemShardIndex", "ExactShardIndex",

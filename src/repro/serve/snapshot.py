@@ -51,7 +51,7 @@ __all__ = ["SNAPSHOT_SCHEMA", "SHARD_SCHEMA", "SHARDED_SCHEMA",
            "SnapshotManifest", "ShardManifest", "ShardedManifest",
            "EmbeddingSnapshot", "export_snapshot", "load_snapshot",
            "partition_ids", "export_sharded_snapshot",
-           "is_sharded_snapshot"]
+           "export_sharded_source_snapshot", "is_sharded_snapshot"]
 
 #: Bump when the on-disk layout changes incompatibly.
 SNAPSHOT_SCHEMA = "bsl-serve-snapshot/v1"
@@ -239,7 +239,8 @@ def _write_arrays(out_dir: pathlib.Path, manifest: SnapshotManifest,
 
 def export_snapshot(model: Recommender, dataset: InteractionDataset,
                     out_dir, *, model_name: str | None = None,
-                    extra: dict | None = None) -> EmbeddingSnapshot:
+                    extra: dict | None = None,
+                    created_unix: float | None = None) -> EmbeddingSnapshot:
     """Freeze a trained model into a serving snapshot directory.
 
     Runs ``model.propagate()`` once in eval mode (so dropout and
@@ -291,7 +292,7 @@ def export_snapshot(model: Recommender, dataset: InteractionDataset,
         num_items=model.num_items,
         dataset=dataset.name,
         scoring=model.test_scoring,
-        created_unix=time.time(),
+        created_unix=time.time() if created_unix is None else created_unix,
         extra=dict(extra or {}))
 
     _write_arrays(out_dir, manifest, users, items, seen_indptr, seen_items)
@@ -481,14 +482,36 @@ def _sharded_version(identity: tuple, shard_versions: list[str]) -> str:
     return digest.hexdigest()[:16]
 
 
+def _csr_rows(indptr: np.ndarray, items: np.ndarray,
+              ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Gather the CSR rows ``ids`` of a global ``(indptr, items)`` layout.
+
+    Returns a rebased ``(indptr, items)`` pair — byte-identical to
+    ``seen_items_csr([items_by_user[u] for u in ids])`` over the same
+    per-user lists, but driven by the flat CSR an
+    :class:`~repro.data.source.InteractionSource` provides (``items``
+    may be a memmap; only the gathered segments are read).
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    counts = indptr[ids + 1] - indptr[ids]
+    out_indptr = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)])
+    total = int(out_indptr[-1])
+    if total == 0:
+        return out_indptr, np.empty(0, dtype=np.int64)
+    flat = (np.repeat(indptr[ids] - out_indptr[:-1], counts)
+            + np.arange(total, dtype=np.int64))
+    return out_indptr, np.asarray(items[flat], dtype=np.int64)
+
+
 def _write_user_shard(out_dir: pathlib.Path, index: int, ids: np.ndarray,
-                      users: np.ndarray, seen_by_user: list,
+                      users: np.ndarray, seen_csr: tuple,
                       base: dict) -> dict:
     """Persist one user shard directory; returns its shards.json entry."""
     shard_dir = out_dir / f"user-shard-{index:02d}"
     shard_dir.mkdir(parents=True, exist_ok=True)
     rows = np.ascontiguousarray(users[ids])
-    indptr, seen = seen_items_csr([seen_by_user[u] for u in ids])
+    indptr, seen = _csr_rows(seen_csr[0], seen_csr[1], ids)
     version = _content_version(
         rows, ids, indptr, seen,
         (SHARD_SCHEMA, "user", index, base["num_shards"], base["strategy"]))
@@ -521,12 +544,80 @@ def _write_item_shard(out_dir: pathlib.Path, index: int, ids: np.ndarray,
     return {"path": shard_dir.name, "version": version, "count": len(ids)}
 
 
+def _export_sharded_tables(out_dir, users, items, seen_csr, *,
+                           model_name: str, model_class: str, dim: int,
+                           num_users: int, num_items: int,
+                           dataset_name: str, scoring: str, shards: int,
+                           partition_by: str, strategy: str,
+                           extra: dict | None,
+                           created_unix: float | None):
+    """Shared sharded-export core: tables + seen CSR → shard directories.
+
+    Both the model-level :func:`export_sharded_snapshot` and the
+    out-of-core :func:`export_sharded_source_snapshot` funnel through
+    here, so identical inputs produce byte-identical shard files and
+    manifests regardless of which front door was used (pin
+    ``created_unix`` to make the manifests comparable too).
+    """
+    if partition_by not in ("user", "item", "both"):
+        raise ValueError(f"partition_by must be user/item/both, "
+                         f"got {partition_by!r}")
+    num_user_shards = shards if partition_by in ("user", "both") else 1
+    num_item_shards = shards if partition_by in ("item", "both") else 1
+
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    _remove_stale_layout(out_dir, for_sharded=True)
+
+    base = {"dim": dim, "scoring": scoring,
+            "num_users": num_users, "num_items": num_items,
+            "strategy": strategy}
+    user_entries = [
+        _write_user_shard(out_dir, i, ids, users, seen_csr,
+                          {**base, "num_shards": num_user_shards})
+        for i, ids in enumerate(partition_ids(num_users,
+                                              num_user_shards, strategy))]
+    item_entries = [
+        _write_item_shard(out_dir, i, ids, items,
+                          {**base, "num_shards": num_item_shards})
+        for i, ids in enumerate(partition_ids(num_items,
+                                              num_item_shards, strategy))]
+
+    identity = (SHARDED_SCHEMA, model_class, dim,
+                num_users, num_items, scoring,
+                partition_by, strategy, num_user_shards, num_item_shards)
+    manifest = ShardedManifest(
+        schema=SHARDED_SCHEMA,
+        version=_sharded_version(
+            identity, [e["version"] for e in user_entries + item_entries]),
+        model=model_name,
+        model_class=model_class,
+        dim=dim,
+        num_users=num_users,
+        num_items=num_items,
+        dataset=dataset_name,
+        scoring=scoring,
+        partition_by=partition_by,
+        strategy=strategy,
+        num_user_shards=num_user_shards,
+        num_item_shards=num_item_shards,
+        user_shards=user_entries,
+        item_shards=item_entries,
+        created_unix=time.time() if created_unix is None else created_unix,
+        extra=dict(extra or {}))
+    (out_dir / _SHARDS_MANIFEST).write_text(manifest.to_json() + "\n")
+
+    from repro.serve.shard import load_sharded_snapshot
+    return load_sharded_snapshot(out_dir)
+
+
 def export_sharded_snapshot(model: Recommender, dataset: InteractionDataset,
                             out_dir, *, shards: int,
                             partition_by: str = "both",
                             strategy: str = "contiguous",
                             model_name: str | None = None,
-                            extra: dict | None = None):
+                            extra: dict | None = None,
+                            created_unix: float | None = None):
     """Freeze a trained model into a horizontally partitioned snapshot.
 
     Writes ``shards`` user-shard directories and/or ``shards``
@@ -551,68 +642,69 @@ def export_sharded_snapshot(model: Recommender, dataset: InteractionDataset,
         stored as a single shard.
     strategy:
         ``"contiguous"`` or ``"hash"`` (see :func:`partition_ids`).
+    created_unix:
+        Export timestamp recorded in ``shards.json`` (defaults to now);
+        pin it when byte-comparing two exports.
 
     Returns the loaded
     :class:`~repro.serve.shard.ShardedSnapshot`.
     """
-    if partition_by not in ("user", "item", "both"):
-        raise ValueError(f"partition_by must be user/item/both, "
-                         f"got {partition_by!r}")
     if (model.num_users, model.num_items) != (dataset.num_users,
                                               dataset.num_items):
         raise ValueError(
             f"model is sized ({model.num_users}, {model.num_items}) but "
             f"dataset is ({dataset.num_users}, {dataset.num_items})")
-    num_user_shards = shards if partition_by in ("user", "both") else 1
-    num_item_shards = shards if partition_by in ("item", "both") else 1
-
-    out_dir = pathlib.Path(out_dir)
-    out_dir.mkdir(parents=True, exist_ok=True)
-    _remove_stale_layout(out_dir, for_sharded=True)
     users, items = _frozen_tables(model)
+    seen_csr = seen_items_csr(dataset.train_items_by_user)
+    return _export_sharded_tables(
+        out_dir, users, items, seen_csr,
+        model_name=model_name or type(model).__name__.lower(),
+        model_class=type(model).__name__, dim=model.dim,
+        num_users=model.num_users, num_items=model.num_items,
+        dataset_name=dataset.name, scoring=model.test_scoring,
+        shards=shards, partition_by=partition_by, strategy=strategy,
+        extra=extra, created_unix=created_unix)
 
-    base = {"dim": model.dim, "scoring": model.test_scoring,
-            "num_users": model.num_users, "num_items": model.num_items,
-            "strategy": strategy}
-    user_entries = [
-        _write_user_shard(out_dir, i, ids, users,
-                          dataset.train_items_by_user,
-                          {**base, "num_shards": num_user_shards})
-        for i, ids in enumerate(partition_ids(model.num_users,
-                                              num_user_shards, strategy))]
-    item_entries = [
-        _write_item_shard(out_dir, i, ids, items,
-                          {**base, "num_shards": num_item_shards})
-        for i, ids in enumerate(partition_ids(model.num_items,
-                                              num_item_shards, strategy))]
 
-    name = model_name or type(model).__name__.lower()
-    identity = (SHARDED_SCHEMA, type(model).__name__, model.dim,
-                model.num_users, model.num_items, model.test_scoring,
-                partition_by, strategy, num_user_shards, num_item_shards)
-    manifest = ShardedManifest(
-        schema=SHARDED_SCHEMA,
-        version=_sharded_version(
-            identity, [e["version"] for e in user_entries + item_entries]),
-        model=name,
-        model_class=type(model).__name__,
-        dim=model.dim,
-        num_users=model.num_users,
-        num_items=model.num_items,
-        dataset=dataset.name,
-        scoring=model.test_scoring,
-        partition_by=partition_by,
-        strategy=strategy,
-        num_user_shards=num_user_shards,
-        num_item_shards=num_item_shards,
-        user_shards=user_entries,
-        item_shards=item_entries,
-        created_unix=time.time(),
-        extra=dict(extra or {}))
-    (out_dir / _SHARDS_MANIFEST).write_text(manifest.to_json() + "\n")
+def export_sharded_source_snapshot(users, items, source, out_dir, *,
+                                   shards: int,
+                                   partition_by: str = "both",
+                                   strategy: str = "contiguous",
+                                   model_name: str = "mf",
+                                   model_class: str = "MF",
+                                   scoring: str = "cosine",
+                                   extra: dict | None = None,
+                                   created_unix: float | None = None):
+    """Sharded export straight from embedding tables + interaction source.
 
-    from repro.serve.shard import load_sharded_snapshot
-    return load_sharded_snapshot(out_dir)
+    The out-of-core path: ``users`` / ``items`` are typically read-only
+    memmaps of on-disk tables (:func:`repro.train.outofcore.open_mmap_mf`
+    at ``mode="r"`` exposes them as ``model.*_embedding.weight.data``)
+    and ``source`` an mmap-backed
+    :class:`~repro.data.source.ShardedInteractionSource` providing the
+    seen-item CSR — no dense intermediate table or per-user Python list
+    is ever materialized; each shard reads only its own row block.
+    Given equal table bytes and interactions, the output is
+    byte-identical to :func:`export_sharded_snapshot` of the equivalent
+    in-memory model/dataset (``created_unix`` pinned), because both
+    funnel through the same write core.
+    """
+    users = np.asarray(users)
+    items = np.asarray(items)
+    if users.ndim != 2 or items.ndim != 2 or users.shape[1] != items.shape[1]:
+        raise ValueError(f"malformed tables {users.shape} / {items.shape}")
+    if users.shape[0] != source.num_users \
+            or items.shape[0] != source.num_items:
+        raise ValueError(
+            f"tables are sized ({users.shape[0]}, {items.shape[0]}) but "
+            f"source is ({source.num_users}, {source.num_items})")
+    return _export_sharded_tables(
+        out_dir, users, items, source.train_csr(),
+        model_name=model_name, model_class=model_class,
+        dim=int(users.shape[1]), num_users=source.num_users,
+        num_items=source.num_items, dataset_name=source.name,
+        scoring=scoring, shards=shards, partition_by=partition_by,
+        strategy=strategy, extra=extra, created_unix=created_unix)
 
 
 def is_sharded_snapshot(path) -> bool:

@@ -3,6 +3,9 @@
 from repro.train.config import TrainConfig
 from repro.train.trainer import Trainer, TrainResult, train_model
 from repro.train.grid import GridPoint, grid_search
+from repro.train.outofcore import (init_mmap_table, init_mmap_mf_tables,
+                                   open_mmap_mf, flush_model)
 
 __all__ = ["TrainConfig", "Trainer", "TrainResult", "train_model",
-           "GridPoint", "grid_search"]
+           "GridPoint", "grid_search", "init_mmap_table",
+           "init_mmap_mf_tables", "open_mmap_mf", "flush_model"]

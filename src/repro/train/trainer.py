@@ -50,7 +50,13 @@ class Trainer:
     Parameters
     ----------
     model, loss, dataset:
-        The three pluggable components.
+        The three pluggable components.  ``dataset`` may be an
+        in-memory :class:`~repro.data.dataset.InteractionDataset` or
+        any :class:`~repro.data.source.InteractionSource` (e.g. an
+        out-of-core ``ShardedInteractionSource``); sources stream
+        epochs without dense per-catalogue state but carry no held-out
+        split, so periodic evaluation / early stopping require a real
+        dataset (or an explicit ``evaluator``).
     config:
         Hyperparameters; see :class:`~repro.train.config.TrainConfig`.
     evaluator:
@@ -58,7 +64,7 @@ class Trainer:
     """
 
     def __init__(self, model: Recommender, loss: Loss,
-                 dataset: InteractionDataset, config: TrainConfig,
+                 dataset, config: TrainConfig,
                  evaluator: Evaluator | None = None):
         self.model = model
         self.loss = loss
@@ -75,6 +81,11 @@ class Trainer:
                                   lr=config.learning_rate,
                                   weight_decay=config.weight_decay)
         if evaluator is None and (config.eval_every or config.patience):
+            if not isinstance(dataset, InteractionDataset):
+                raise ValueError(
+                    "eval_every/patience need an InteractionDataset (or an "
+                    "explicit evaluator); interaction sources carry no test "
+                    "split")
             evaluator = Evaluator(dataset, ks=(20,))
         self.evaluator = evaluator
 
@@ -193,7 +204,7 @@ class Trainer:
         return loss_t.item()
 
 
-def train_model(model: Recommender, loss: Loss, dataset: InteractionDataset,
+def train_model(model: Recommender, loss: Loss, dataset,
                 config: TrainConfig | None = None, **overrides) -> TrainResult:
     """Convenience wrapper: build a :class:`Trainer` and fit.
 

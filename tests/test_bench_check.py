@@ -1,10 +1,19 @@
-"""The bench-schema validator catches rot; the committed files pass it."""
+"""The bench-schema validator catches rot; the committed files pass it.
+
+The validator's file list and required columns come from the suite
+registry (:mod:`repro.experiments.bench`), so this module also pins the
+registry <-> validator <-> repo-file coverage in both directions: every
+registry suite must have its output file committed and validated, and
+every committed ``BENCH_*.json`` must belong to a registry suite.
+"""
 
 import importlib.util
 import json
 import pathlib
 
 import pytest
+
+from repro.experiments import bench
 
 REPO_ROOT = pathlib.Path(__file__).parent.parent
 
@@ -87,6 +96,54 @@ def _minimal_latency_payload():
     }
 
 
+def _minimal_scale_payload():
+    return {
+        "schema": "bsl-scale-bench/v1",
+        "created_unix": 1.0,
+        "dataset": "tiny",
+        "config": {"levels": ["tiny"]},
+        "results": [
+            {"kind": "scale", "level": "tiny", "num_users": 100,
+             "num_items": 80, "catalogue": 8000, "num_train": 500,
+             "dim": 8, "batch_size": 64, "n_negatives": 4, "steps": 3,
+             "ms_per_step": 1.0, "users_per_s": 100.0,
+             "peak_rss_mb": 50.0, "est_dense_bytes": 8000,
+             "shard_bytes": 4096},
+        ],
+    }
+
+
+class TestRegistryCoverage:
+    """Registry <-> validator <-> committed files, both directions."""
+
+    def test_every_suite_output_is_validated(self, check_bench):
+        for name in bench.suite_names():
+            suite = bench.get_suite(name)
+            assert suite.output in check_bench.EXPECTED, name
+
+    def test_every_validated_file_belongs_to_a_suite(self, check_bench):
+        outputs = {bench.get_suite(n).output for n in bench.suite_names()}
+        assert set(check_bench.EXPECTED) == outputs
+
+    def test_every_suite_output_is_committed(self):
+        for name in bench.suite_names():
+            suite = bench.get_suite(name)
+            assert (REPO_ROOT / suite.output).is_file(), (
+                f"suite {name!r} promises {suite.output} but the repo "
+                f"does not carry it — run `make {suite.make_target}`")
+
+    def test_every_committed_bench_file_has_a_suite(self):
+        outputs = {bench.get_suite(n).output for n in bench.suite_names()}
+        for path in REPO_ROOT.glob("BENCH_*.json"):
+            assert path.name in outputs, (
+                f"{path.name} is committed but no registry suite owns it")
+
+    def test_required_kinds_have_row_fields(self, check_bench):
+        for name in bench.suite_names():
+            for kind in bench.get_suite(name).required_kinds:
+                assert check_bench.REQUIRED_FIELDS.get(kind), (name, kind)
+
+
 class TestRepoFilesPass:
     def test_committed_bench_files_validate(self, check_bench):
         assert check_bench.main([]) == 0
@@ -116,6 +173,12 @@ class TestRepoFilesPass:
         payload = json.loads((REPO_ROOT / "BENCH_latency.json").read_text())
         assert payload["schema"] == "bsl-latency-bench/v1"
         assert {row["kind"] for row in payload["results"]} == {"latency"}
+
+    def test_scale_file_expected(self, check_bench):
+        assert "BENCH_scale.json" in check_bench.EXPECTED
+        payload = json.loads((REPO_ROOT / "BENCH_scale.json").read_text())
+        assert payload["schema"] == "bsl-scale-bench/v1"
+        assert {row["kind"] for row in payload["results"]} == {"scale"}
 
 
 class TestValidatorCatchesRot:
@@ -287,4 +350,41 @@ class TestLatencyValidation:
         payload = _minimal_latency_payload()
         payload["schema"] = "bsl-latency-bench/v0"
         problems = check_bench.check_payload("BENCH_latency.json", payload)
+        assert any("does not match expected" in p for p in problems)
+
+
+class TestScaleValidation:
+    def test_good_scale_payload_passes(self, check_bench):
+        problems = check_bench.check_payload("BENCH_scale.json",
+                                             _minimal_scale_payload())
+        assert problems == []
+
+    def test_missing_frontier_columns_rejected(self, check_bench):
+        for column in ("level", "num_users", "num_items", "ms_per_step",
+                       "users_per_s", "peak_rss_mb", "est_dense_bytes",
+                       "shard_bytes"):
+            payload = _minimal_scale_payload()
+            del payload["results"][0][column]
+            problems = check_bench.check_payload("BENCH_scale.json", payload)
+            assert any("missing fields" in p and column in p
+                       for p in problems), column
+
+    def test_missing_scale_section_rejected(self, check_bench):
+        payload = _minimal_scale_payload()
+        payload["results"][0]["kind"] = "other"
+        problems = check_bench.check_payload("BENCH_scale.json", payload)
+        assert any("'scale'" in p and "required section" in p
+                   for p in problems)
+
+    @pytest.mark.parametrize("bad", [float("inf"), float("nan")])
+    def test_non_finite_rss_rejected(self, check_bench, bad):
+        payload = _minimal_scale_payload()
+        payload["results"][0]["peak_rss_mb"] = bad
+        problems = check_bench.check_payload("BENCH_scale.json", payload)
+        assert any("non-finite" in p for p in problems)
+
+    def test_wrong_schema_rejected(self, check_bench):
+        payload = _minimal_scale_payload()
+        payload["schema"] = "bsl-scale-bench/v0"
+        problems = check_bench.check_payload("BENCH_scale.json", payload)
         assert any("does not match expected" in p for p in problems)

@@ -132,17 +132,17 @@ class TestMakefileAndScripts:
     def test_bench_train_target_and_verb_exist(self):
         """The training-frontier entry points are wired end to end."""
         assert "bench-train" in _make_targets()
-        assert "perf-train" in _cli_verbs()
+        assert "perf-train" in _cli_verbs()  # deprecated alias still works
         makefile = (REPO_ROOT / "Makefile").read_text()
-        assert "perf-train" in makefile
+        assert "bench train" in makefile
         assert (REPO_ROOT / "benchmarks" / "train_perf.py").is_file()
 
     def test_bench_latency_target_and_verb_exist(self):
         """The latency-frontier entry points are wired end to end."""
         assert "bench-latency" in _make_targets()
-        assert "perf-latency" in _cli_verbs()
+        assert "perf-latency" in _cli_verbs()  # deprecated alias
         makefile = (REPO_ROOT / "Makefile").read_text()
-        assert "perf-latency" in makefile
+        assert "bench latency" in makefile
         assert (REPO_ROOT / "benchmarks" / "latency_perf.py").is_file()
         assert (REPO_ROOT / "BENCH_latency.json").is_file()
 
@@ -154,9 +154,38 @@ class TestMakefileAndScripts:
                      "refresh"):
             assert verb in verbs, f"CLI verb {verb!r} missing"
         makefile = (REPO_ROOT / "Makefile").read_text()
-        assert "perf-refresh" in makefile
+        assert "bench refresh" in makefile
         assert (REPO_ROOT / "benchmarks" / "refresh_perf.py").is_file()
         assert (REPO_ROOT / "BENCH_refresh.json").is_file()
+
+    def test_bench_registry_targets_cover_every_suite(self):
+        """Each registry suite has its make target and committed file."""
+        from repro.experiments import bench
+        targets = _make_targets()
+        for name in bench.suite_names():
+            suite = bench.get_suite(name)
+            assert suite.make_target in targets, name
+            assert (REPO_ROOT / suite.output).is_file(), name
+
+    def test_unified_bench_verb_and_aliases_exist(self):
+        """`repro bench <suite>` plus back-compat perf-* aliases."""
+        from repro.experiments.bench import ALIAS_VERBS
+        verbs = _cli_verbs()
+        assert "bench" in verbs
+        for alias in ALIAS_VERBS:
+            assert alias in verbs, f"alias {alias!r} missing"
+
+    def test_scale_entry_points_exist(self):
+        """The out-of-core frontier is wired end to end."""
+        assert "bench-scale" in _make_targets()
+        assert "perf-scale" in _cli_verbs()
+        assert (REPO_ROOT / "benchmarks" / "scale_perf.py").is_file()
+        assert (REPO_ROOT / "BENCH_scale.json").is_file()
+
+    def test_ci_slow_runs_out_of_core_smoke(self):
+        commands = _run_commands(_load("ci-slow.yml"))
+        assert any("bench scale" in c and "scale-100k" in c
+                   for c in commands)
 
     def test_verify_wires_bench_check(self):
         makefile = (REPO_ROOT / "Makefile").read_text()

@@ -49,8 +49,7 @@ class TestReadmeCommandsParse:
         """The README quickstart advertises the full train->serve flow."""
         verbs = [shlex.split(cmd)[3] for _, cmd in _cli_command_lines()
                  if len(shlex.split(cmd)) > 3]
-        for required in ("train", "export", "recommend", "perf",
-                        "perf-serve"):
+        for required in ("train", "export", "recommend", "bench"):
             assert required in verbs, f"README lost the `{required}` example"
 
     @pytest.mark.parametrize(

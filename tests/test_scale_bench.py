@@ -1,0 +1,158 @@
+"""Out-of-core scale frontier: committed numbers + harness mechanics.
+
+``BENCH_scale.json`` is the committed proof that the out-of-core engine
+actually reaches million-scale catalogues: these tests pin that the
+file carries a >=1M x >=1M row and that its training-phase peak RSS
+grows sub-linearly in catalogue size (the whole point of streaming from
+mmap shards instead of materializing dense state).  The harness tests
+run the per-phase pipeline in-process on a tiny catalogue so tier-1
+covers the measurement code itself.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.data.synthetic import SCALE_PRESETS, ScaleConfig
+from repro.experiments.scale_perf import (PHASES, SCALE_SCHEMA,
+                                          ScalePerfConfig, _level_paths,
+                                          _resolve_level, run_scale_phase,
+                                          run_scale_suite, summarize_scale)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_scale.json"
+
+
+def _load_check_bench():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench", REPO_ROOT / "scripts" / "check_bench.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return json.loads(BENCH_PATH.read_text())
+
+
+class TestCommittedFrontier:
+    def test_validates_against_registry(self, payload):
+        check_bench = _load_check_bench()
+        assert check_bench.check_payload("BENCH_scale.json", payload) == []
+        assert payload["schema"] == SCALE_SCHEMA
+
+    def test_reaches_million_scale(self, payload):
+        rows = [r for r in payload["results"] if r["kind"] == "scale"]
+        assert any(r["num_users"] >= 1_000_000 and r["num_items"] >= 1_000_000
+                   for r in rows), "no million-scale row committed"
+
+    def test_train_rss_sublinear_in_catalogue(self, payload):
+        rows = sorted((r for r in payload["results"] if r["kind"] == "scale"),
+                      key=lambda r: r["num_users"] * r["num_items"])
+        assert len(rows) >= 2
+        small, big = rows[0], rows[-1]
+        cat_ratio = (big["num_users"] * big["num_items"]) / \
+            (small["num_users"] * small["num_items"])
+        rss_ratio = big["peak_rss_mb"] / small["peak_rss_mb"]
+        assert cat_ratio >= 10  # the sweep must actually span scales
+        assert rss_ratio <= 0.5 * cat_ratio, (
+            f"train RSS grew {rss_ratio:.1f}x over a {cat_ratio:.0f}x "
+            f"catalogue — not out-of-core")
+
+    def test_rss_far_below_dense_baseline(self, payload):
+        for row in payload["results"]:
+            rss_bytes = row["peak_rss_mb"] * 2**20
+            assert rss_bytes < row["est_dense_bytes"] / 50, row["level"]
+
+    def test_throughput_positive(self, payload):
+        for row in payload["results"]:
+            assert row["users_per_s"] > 0 and row["ms_per_step"] > 0
+
+
+class TestLevelResolution:
+    def test_presets_resolve(self):
+        for name in SCALE_PRESETS:
+            cfg = _resolve_level(name)
+            assert isinstance(cfg, ScaleConfig) and cfg.name == name
+
+    def test_config_passthrough(self):
+        cfg = ScaleConfig(num_users=10, num_items=10, num_clusters=2,
+                          mean_interactions=2.0, users_per_chunk=5,
+                          seed=0, name="x")
+        assert _resolve_level(cfg) is cfg
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(KeyError, match="unknown scale level"):
+            _resolve_level("scale-1b")
+
+    def test_million_preset_exists(self):
+        assert any(cfg.num_users >= 1_000_000 and cfg.num_items >= 1_000_000
+                   for cfg in SCALE_PRESETS.values())
+
+
+TINY = ScaleConfig(num_users=400, num_items=300, num_clusters=8,
+                   mean_interactions=6.0, users_per_chunk=128,
+                   block_rows=512, seed=13, name="tiny")
+
+RUN_SPEC = {"dim": 8, "steps": 3, "warmup": 1, "batch_size": 128,
+            "n_negatives": 4, "serve_batches": 2, "serve_batch_size": 32,
+            "k": 5, "shards": 2, "seed": 0}
+
+
+class TestPhasePipeline:
+    """All five phases, in-process, on a tiny catalogue."""
+
+    @pytest.fixture(scope="class")
+    def level_dir(self, tmp_path_factory):
+        from dataclasses import asdict
+        work = tmp_path_factory.mktemp("scale") / "tiny"
+        work.mkdir()
+        _level_paths(work)["config"].write_text(json.dumps(
+            {"scale": asdict(TINY), "run": RUN_SPEC}) + "\n")
+        return work
+
+    @pytest.fixture(scope="class")
+    def phase_results(self, level_dir):
+        # phases depend on each other's on-disk artifacts, so run in order
+        return {phase: run_scale_phase(phase, level_dir)
+                for phase in PHASES}
+
+    def test_gen_reports_catalogue(self, phase_results):
+        gen = phase_results["gen"]
+        assert gen["num_users"] == 400 and gen["num_items"] == 300
+        assert gen["num_train"] > 0 and gen["shard_bytes"] > 0
+
+    def test_train_reports_throughput(self, phase_results):
+        train = phase_results["train"]
+        assert train["ms_per_step"] > 0 and train["users_per_s"] > 0
+
+    def test_export_writes_snapshot(self, phase_results, level_dir):
+        export = phase_results["export"]
+        assert export["snapshot_bytes"] > 0
+        assert (_level_paths(level_dir)["snapshot"] / "shards.json").is_file()
+
+    def test_serve_answers_queries(self, phase_results):
+        assert phase_results["serve"]["users_per_s"] > 0
+
+    def test_unknown_phase_rejected(self, level_dir):
+        with pytest.raises(ValueError):
+            run_scale_phase("profile", level_dir)
+
+
+@pytest.mark.slow
+class TestSubprocessSweep:
+    """Full suite driver: one fresh subprocess per phase, real payload."""
+
+    def test_tiny_sweep_end_to_end(self, tmp_path):
+        payload = run_scale_suite(ScalePerfConfig(
+            levels=(TINY,), dim=8, steps=3, warmup=1, batch_size=128,
+            n_negatives=4, serve_batches=2, serve_batch_size=32, k=5,
+            shards=2, work_dir=str(tmp_path)))
+        check_bench = _load_check_bench()
+        assert check_bench.check_payload("BENCH_scale.json", payload) == []
+        (row,) = payload["results"]
+        assert row["level"] == "tiny" and row["peak_rss_mb"] > 0
+        assert "tiny" in summarize_scale(payload)
