@@ -1,0 +1,26 @@
+"""Runnable telemetry-overhead harness (not collected by pytest).
+
+Thin wrapper over :mod:`repro.experiments.perf` so the benchmark
+directory has a one-command entry point::
+
+    PYTHONPATH=src python benchmarks/obs_perf.py [--out BENCH_obs.json ...]
+
+Trains one (model, loss) cell, exports an embedding snapshot, and
+serves the same request stream with telemetry off, with the metrics
+registry enabled, and with metrics + span tracing enabled, writing
+``BENCH_obs.json`` (schema ``bsl-obs-bench/v1``).  Equivalent to
+``python -m repro.cli bench obs``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+if __name__ == "__main__":
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    src = repo_root / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    from repro.cli import main
+    raise SystemExit(main(["bench", "obs", *sys.argv[1:]]))

@@ -34,6 +34,12 @@ python scripts/check_docs.py $STRICT
 echo "== bench-schema checker =="
 python scripts/check_bench.py
 
+echo "== metrics-exposition smoke =="
+# Drives a tiny train+serve workload, renders the registry as
+# Prometheus v0.0.4 text and re-parses it: unique metric names,
+# well-formed HELP/TYPE, declared families for every sample.
+python -m repro.cli metrics --demo --format prom --validate > /dev/null
+
 echo "== pytest ${RUNSLOW:-(tier-1)} =="
 # shellcheck disable=SC2086
 python -m pytest -x -q $RUNSLOW

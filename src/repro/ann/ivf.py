@@ -39,10 +39,14 @@ identical results (pinned by ``tests/test_ann.py``).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.analysis.kmeans import kmeans, sq_dists
 from repro.eval.metrics import rank_items
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.serve.index import (TopKResult, build_panels, panel_scores,
                                scoring_ready_items, scoring_ready_users)
 from repro.serve.snapshot import EmbeddingSnapshot
@@ -312,6 +316,9 @@ class IVFIndexData:
             np.cumsum(np.bincount(lists_all, minlength=self.nlist))])
         data = IVFIndexData(self.centroids, indptr, ids_all, num_items,
                             self.default_nprobe)
+        get_registry().counter(
+            "ann.ivf.incremental_updates",
+            "posting-list maintenance passes (updated())").inc()
         return data, code_map
 
     def staleness(self, items_ready: np.ndarray) -> float:
@@ -331,7 +338,12 @@ class IVFIndexData:
         owner = np.repeat(np.arange(self.nlist, dtype=np.int64), self.sizes)
         fresh = np.zeros(self.num_items, dtype=bool)
         fresh[self.list_items[owner == nearest[self.list_items]]] = True
-        return float(1.0 - fresh.sum() / self.num_items)
+        value = float(1.0 - fresh.sum() / self.num_items)
+        get_registry().gauge(
+            "ann.ivf.staleness",
+            "fraction of items filed away from their nearest "
+            "centroid, last measured").set(value)
+        return value
 
     def reclustered(self, items_ready: np.ndarray, *, lists: int = 1
                     ) -> tuple["IVFIndexData", np.ndarray]:
@@ -382,6 +394,14 @@ class IVFIndexData:
                             order.astype(np.int64))
         data = IVFIndexData(centroids, indptr, items_new, self.num_items,
                             self.default_nprobe)
+        registry = get_registry()
+        registry.counter(
+            "ann.ivf.reclusters",
+            "partial re-clustering passes that moved postings").inc()
+        registry.counter(
+            "ann.ivf.reclustered_lists",
+            "inverted lists drained by partial re-clustering").inc(
+            len(worst))
         return data, code_map
 
     # ------------------------------------------------------------------
@@ -540,6 +560,15 @@ class IVFFlatIndex:
         #: bounded (insertion-order eviction) because ``k`` is
         #: caller-controlled and each table spans the population
         self._routing: dict[tuple, "_RoutingTable"] = {}
+        registry = get_registry()
+        # Process-wide aggregates (no per-index labels): every IVF
+        # instance feeds the same probe/candidate counters.
+        self._ctr_queries = registry.counter(
+            "ann.ivf.queries", "users answered through IVF retrieval")
+        self._ctr_candidates = registry.counter(
+            "ann.ivf.candidates",
+            "candidate score slots assembled (sum of per-user "
+            "candidate-set widths)")
 
     #: distinct (k, nprobe, filter_seen) routing tables kept per index
     MAX_ROUTING_TABLES = 8
@@ -649,20 +678,23 @@ class IVFFlatIndex:
         slice copies and ranking can run per width bucket — the final
         results are scattered back to request order at the end.
         """
-        vectors = scoring_ready_users(self.snapshot.users[users],
+        tracer = get_tracer()
+        with tracer.span("ann.ivf.plan", users=len(users)):
+            vectors = scoring_ready_users(self.snapshot.users[users],
+                                          self.snapshot.scoring)
+            if self.routed:
+                table = self._routing_for(k, filter_seen)
+                groups, rows_by_group, seen = table.slice(users)
+            else:
+                plan = self.data.plan(vectors, self._seen_counts[users], k,
+                                      self.nprobe, filter_seen,
                                       self.snapshot.scoring)
-        if self.routed:
-            table = self._routing_for(k, filter_seen)
-            groups, rows_by_group, seen = table.slice(users)
-        else:
-            plan = self.data.plan(vectors, self._seen_counts[users], k,
-                                  self.nprobe, filter_seen,
-                                  self.snapshot.scoring)
-            groups = plan.signatures
-            rows_by_group = plan.rows_by_group()
-            seen = (self._dynamic_seen(users, plan) if filter_seen
-                    else (np.empty(0, np.int64), np.empty(0, np.int64)))
+                groups = plan.signatures
+                rows_by_group = plan.rows_by_group()
+                seen = (self._dynamic_seen(users, plan) if filter_seen
+                        else (np.empty(0, np.int64), np.empty(0, np.int64)))
 
+        score_start = time.perf_counter() if tracer.enabled else None
         live = [(len(self.data.signature(groups[g])[0]), g)
                 for g, rows in enumerate(rows_by_group) if len(rows)]
         live.sort()
@@ -705,6 +737,11 @@ class IVFFlatIndex:
                                                   top, axis=1)
             out_scores[lo:hi] = np.take_along_axis(block[lo:hi, :width],
                                                    top, axis=1)
+        if score_start is not None:
+            tracer.record("ann.ivf.score", score_start,
+                          time.perf_counter(), users=m)
+        self._ctr_queries.inc(m)
+        self._ctr_candidates.inc(int(widths.sum()))
         return out_items[inverse], out_scores[inverse]
 
     def _dynamic_seen(self, users: np.ndarray, plan: ProbePlan

@@ -36,6 +36,10 @@ Subcommands:
 * ``refresh`` — demo the live swap: serve a paced request stream from
   a base snapshot and atomically refresh to the delta-applied version
   mid-stream, printing the swap pause and version accounting.
+* ``metrics`` — export the process metrics registry
+  (:mod:`repro.obs`) as Prometheus text or JSON; ``--demo`` drives a
+  tiny train + serve workload first so every family has samples.
+  ``recommend --trace`` prints the request's span tree.
 """
 
 from __future__ import annotations
@@ -352,16 +356,31 @@ def _cmd_recommend(args) -> int:
             index = build_index(snapshot, args.index)
         service = RecommendationService(snapshot, index=index)
     users = [int(u) for u in args.users.split(",")]
-    rows = []
-    for rec in service.recommend(users, k=args.k,
-                                 filter_seen=not args.no_filter_seen):
-        rows.append([rec.user_id,
-                     " ".join(str(i) for i in rec.items.tolist()),
-                     " ".join(f"{s:.4f}" for s in rec.scores.tolist())])
+    if args.trace:
+        from repro.obs import format_span_tree, get_tracer, tracing
+        tracer = get_tracer()
+        tracer.clear()
+        with tracing():
+            recs = list(service.recommend(
+                users, k=args.k, filter_seen=not args.no_filter_seen))
+    else:
+        recs = list(service.recommend(users, k=args.k,
+                                      filter_seen=not args.no_filter_seen))
+    rows = [[rec.user_id,
+             " ".join(str(i) for i in rec.items.tolist()),
+             " ".join(f"{s:.4f}" for s in rec.scores.tolist())]
+            for rec in recs]
     print_table(
         f"top-{args.k} from {args.snapshot} "
         f"({index.kind}, snapshot {snapshot.version})",
         ["user", "items", "scores"], rows, precision=0)
+    if args.trace:
+        # Sharded routing records its phase spans from fan-out worker
+        # threads, which finish as separate roots — print every root
+        # collected during the call, not just the last.
+        print()
+        for root in tracer.traces():
+            print(format_span_tree(root))
     return 0
 
 
@@ -460,6 +479,65 @@ def _cmd_refresh(args) -> int:
              for version, count in sorted(served.items())]
     print_table(f"live refresh of {args.snapshot}", ["field", "value"],
                 rows, precision=0)
+    return 0
+
+
+def _demo_metrics_workload() -> None:
+    """Drive a tiny train + serve pass so every instrument family of
+    the registry has samples (training, sampler, cache, serving)."""
+    import tempfile
+
+    from repro.serve import (RecommendationService, ServingRuntime,
+                             export_snapshot, load_snapshot)
+
+    spec = ExperimentSpec(dataset="yelp2018-small", model="mf", loss="bsl",
+                          dim=16, epochs=2, seed=0)
+    result = run_experiment(spec)
+    with tempfile.TemporaryDirectory() as tmp:
+        export_snapshot(result.model, result.dataset, tmp)
+        service = RecommendationService(load_snapshot(tmp), cache_size=64)
+        with ServingRuntime(service) as runtime:
+            handles = [runtime.submit(u % result.dataset.num_users, k=5)
+                       for u in range(32)]
+            for handle in handles:
+                handle.result(timeout=30.0)
+
+
+def _cmd_metrics(args) -> int:
+    """Export the process-global metrics registry.
+
+    By default renders whatever this process has recorded so far (the
+    library path: scripts call :func:`repro.obs.get_registry` and dump
+    at exit).  ``--demo`` first drives a tiny train + serve workload so
+    every family has samples — ``scripts/verify.sh`` uses this to
+    smoke-test the exposition format — and ``--validate`` re-parses the
+    Prometheus output, failing on malformed or duplicate families.
+    """
+    from repro.obs import get_registry
+    from repro.obs.export import json as json_export
+    from repro.obs.export import prom
+
+    if args.validate and args.format != "prom":
+        raise SystemExit("metrics: --validate applies to --format prom")
+    if args.demo:
+        _demo_metrics_workload()
+    registry = get_registry()
+    if args.format == "json":
+        text = json_export.render(registry) + "\n"
+    else:
+        text = prom.render(registry)
+    if args.validate:
+        problems = prom.validate_exposition(text)
+        if problems:
+            for problem in problems:
+                print(f"metrics: {problem}")
+            return 1
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.format} exposition to {args.out}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -576,6 +654,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="keep already-interacted items in the lists")
     recommend.add_argument("--verify", action="store_true",
                            help="check the snapshot content hash before serving")
+    recommend.add_argument("--trace", action="store_true",
+                           help="print the request's span tree "
+                                "(docs/observability.md)")
 
     delta_export = sub.add_parser(
         "delta-export",
@@ -620,6 +701,22 @@ def build_parser() -> argparse.ArgumentParser:
     refresh.add_argument("--verify", action="store_true",
                          help="check the snapshot content hash first")
 
+    metrics = sub.add_parser(
+        "metrics",
+        help="export the process metrics registry (repro.obs)")
+    metrics.add_argument("--format", default="prom",
+                         choices=("prom", "json"),
+                         help="Prometheus text exposition or JSON snapshot")
+    metrics.add_argument("--demo", action="store_true",
+                         help="drive a tiny train + serve workload first "
+                              "so every instrument family has samples")
+    metrics.add_argument("--validate", action="store_true",
+                         help="re-parse the Prometheus output and fail on "
+                              "malformed or duplicate families")
+    metrics.add_argument("--out", default=None,
+                         help="write the exposition to a file instead of "
+                              "stdout")
+
     add_legacy_verbs(sub)
     return parser
 
@@ -633,7 +730,7 @@ def main(argv=None) -> int:
                 "build-ann": _cmd_build_ann, "recommend": _cmd_recommend,
                 "delta-export": _cmd_delta_export,
                 "apply-deltas": _cmd_apply_deltas,
-                "refresh": _cmd_refresh}
+                "refresh": _cmd_refresh, "metrics": _cmd_metrics}
     for verb in ALIAS_VERBS:
         handlers[verb] = lambda a, v=verb: run_legacy(v, a)
     return handlers[args.command](args)

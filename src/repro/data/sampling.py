@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.source import as_source, batch_contains
+from repro.obs.metrics import get_registry
 from repro.tensor.random import ensure_rng
 
 __all__ = ["TrainingBatch", "UniformNegativeSampler", "InBatchSampler",
@@ -92,6 +93,18 @@ class UniformNegativeSampler(_PairShuffler):
         self.n_negatives = n_negatives
         self.rnoise = rnoise
         self.exclude_positives = exclude_positives
+        # Redraw telemetry: instruments are fetched once at construction
+        # (a disabled registry hands back shared no-op singletons) and
+        # bumped once per batch, so the draw loop itself stays clean.
+        registry = get_registry()
+        self._ctr_draws = registry.counter(
+            "train.sampler.draws", "negative slots drawn")
+        self._ctr_collisions = registry.counter(
+            "train.sampler.collisions",
+            "drawn negatives that collided with a positive")
+        self._ctr_redraws = registry.counter(
+            "train.sampler.redraws",
+            "colliding slots replaced via the masked redraw")
 
     def epoch(self):
         """Yield :class:`TrainingBatch` objects covering one epoch."""
@@ -106,6 +119,7 @@ class UniformNegativeSampler(_PairShuffler):
         n_items = self.source.num_items
         negatives = self._rng.integers(
             0, n_items, size=(len(users), self.n_negatives))
+        self._ctr_draws.inc(negatives.size)
         if self.rnoise > 0:
             # Exact rnoise semantics: every slot is a true negative unless
             # explicitly corrupted, so the positive/negative sampling-
@@ -165,9 +179,11 @@ class UniformNegativeSampler(_PairShuffler):
         if not collisions.any():
             return
         rows, cols = np.nonzero(collisions)
+        self._ctr_collisions.inc(len(rows))
         deg = degrees[rows]
         n_free = self.source.num_items - deg
         ok = n_free > 0
+        self._ctr_redraws.inc(int(ok.sum()))
         r = self._rng.integers(0, np.maximum(n_free, 1))
         # rank -> item id: count positives at or below the landing spot
         shifted = padded[rows] - np.arange(padded.shape[1])[None, :]

@@ -200,6 +200,22 @@ def _configure_latency(parser) -> None:
     parser.add_argument("--out", default="BENCH_latency.json")
 
 
+def _configure_obs(parser) -> None:
+    parser.add_argument("--dataset", default="yelp2018-small",
+                        choices=dataset_names())
+    parser.add_argument("--model", default="mf", choices=model_names())
+    parser.add_argument("--loss", default="bsl", choices=loss_names())
+    parser.add_argument("--epochs", type=int, default=8)
+    parser.add_argument("--dim", type=int, default=64)
+    parser.add_argument("--k", type=int, default=DEFAULT_TOP_K)
+    parser.add_argument("--batch-size", type=int, default=256)
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timed passes per lane (best pass kept)")
+    parser.add_argument("--request-users", type=int, default=1024)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_obs.json")
+
+
 def _configure_refresh(parser) -> None:
     parser.add_argument("--dataset", default="yelp2018-small",
                         choices=dataset_names())
@@ -366,6 +382,21 @@ def _run_latency(args) -> int:
     return 0
 
 
+def _run_obs(args) -> int:
+    from repro.experiments.perf import (ObsPerfConfig, run_obs_suite,
+                                        summarize_obs, write_report)
+    config = ObsPerfConfig(
+        dataset=args.dataset, model=args.model, loss=args.loss,
+        epochs=args.epochs, dim=args.dim, k=args.k,
+        batch_size=args.batch_size, repeats=args.repeats,
+        request_users=args.request_users, seed=args.seed)
+    payload = run_obs_suite(config)
+    write_report(payload, args.out)
+    print(summarize_obs(payload))
+    print(f"wrote {args.out}")
+    return 0
+
+
 def _run_refresh(args) -> int:
     from repro.experiments.perf import (RefreshPerfConfig, run_refresh_suite,
                                         summarize_refresh, write_report)
@@ -500,6 +531,20 @@ SUITES = {suite.name: suite for suite in (
         make_target="bench-refresh",
         configure=_configure_refresh,
         run=_run_refresh),
+    BenchSuite(
+        name="obs",
+        help="measure serving overhead of the telemetry layer "
+             "(off / metrics / metrics+tracing lanes)",
+        schema="bsl-obs-bench/v1",
+        output="BENCH_obs.json",
+        required_kinds=frozenset({"obs"}),
+        row_fields={
+            "obs": {"mode", "cache", "batch_size", "k", "users_per_s",
+                    "ms_per_batch", "overhead_pct"},
+        },
+        make_target="bench-obs",
+        configure=_configure_obs,
+        run=_run_obs),
     BenchSuite(
         name="scale",
         help="out-of-core million-scale pipeline: step time and peak "

@@ -85,18 +85,18 @@ from repro.train.config import TrainConfig
 from repro.train.trainer import Trainer
 
 __all__ = ["SCHEMA", "SERVE_SCHEMA", "ANN_SCHEMA", "TRAIN_SCHEMA",
-           "LATENCY_SCHEMA", "REFRESH_SCHEMA", "CLOCK_RESOLUTION_S",
-           "clamp_elapsed",
+           "LATENCY_SCHEMA", "REFRESH_SCHEMA", "OBS_SCHEMA",
+           "CLOCK_RESOLUTION_S", "clamp_elapsed",
            "PerfConfig", "ServePerfConfig", "AnnPerfConfig",
            "TrainPerfConfig", "LatencyPerfConfig", "RefreshPerfConfig",
-           "inflate_catalogue",
+           "ObsPerfConfig", "inflate_catalogue",
            "time_train_steps", "time_eval", "run_perf_suite",
            "run_train_suite", "time_recommend", "time_recommend_sharded",
            "topk_overlap", "run_serve_suite", "time_index_topk",
            "run_latency_level", "run_latency_suite", "run_refresh_suite",
-           "run_ann_suite", "write_report", "summarize", "summarize_serve",
-           "summarize_ann", "summarize_train", "summarize_latency",
-           "summarize_refresh"]
+           "run_ann_suite", "run_obs_suite", "write_report", "summarize",
+           "summarize_serve", "summarize_ann", "summarize_train",
+           "summarize_latency", "summarize_refresh", "summarize_obs"]
 
 #: Bump the suffix when the payload layout changes incompatibly.
 SCHEMA = "bsl-fastpath-bench/v1"
@@ -1449,6 +1449,161 @@ def summarize_serve(payload: dict) -> str:
                 f"{row['users_per_s']:,.0f} users/s  "
                 f"(merge {100 * row['merge_fraction']:.1f}%, "
                 f"{row['per_shard_bytes'] / 1024:.0f} KiB/shard)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Telemetry overhead frontier (BENCH_obs.json)
+# ----------------------------------------------------------------------
+@dataclass
+class ObsPerfConfig:
+    """Knobs for one telemetry-overhead run.
+
+    One (dataset, model, loss) cell is trained and exported; the same
+    request stream is then served three times per cache state — with
+    telemetry fully off (null registry, tracing forced off), with the
+    metrics registry enabled, and with metrics **and** span tracing
+    enabled — and each lane's throughput is compared against the off
+    baseline.  The metrics-on overhead is the number the repo pins
+    (``tests/test_obs_perf.py``: ≤ 5% on the cold lane).
+    """
+
+    dataset: str = "yelp2018-small"
+    model: str = "mf"
+    loss: str = "bsl"
+    epochs: int = 8
+    dim: int = 64
+    k: int = 10
+    batch_size: int = 256
+    #: timed passes per lane; the **best** pass is kept, so scheduler
+    #: noise inflates neither the baseline nor the instrumented lanes
+    repeats: int = 5
+    request_users: int = 1024
+    max_batch: int = 256
+    seed: int = 0
+    extra_info: dict = field(default_factory=dict)
+
+
+#: Telemetry-off / metrics-on / metrics+tracing serving lanes, one row
+#: per (cache state, mode), with overhead relative to the off lane.
+OBS_SCHEMA = "bsl-obs-bench/v1"
+
+#: Sweep order per cache state; ``off`` must come first (it is the
+#: baseline the other lanes' ``overhead_pct`` is computed against).
+OBS_MODES = ("off", "metrics", "trace")
+
+
+def _time_obs_lane(service, users: np.ndarray, *, batch_size: int,
+                   k: int, repeats: int) -> float:
+    """Best-of-``repeats`` seconds for one full pass over ``users``."""
+    def one_pass() -> None:
+        for lo in range(0, len(users), batch_size):
+            service.recommend(users[lo:lo + batch_size], k=k)
+
+    one_pass()  # warmup: fills the cache on cache-enabled services
+    return min(_timed(one_pass) for _ in range(repeats))
+
+
+def run_obs_suite(config: ObsPerfConfig | None = None) -> dict:
+    """Measure serving throughput under the three telemetry modes.
+
+    Every lane serves the identical request stream against a service
+    constructed *inside* its telemetry mode (so stats views bind their
+    instruments to that lane's registry).  Off-lane telemetry is the
+    real disabled path — the null registry's shared no-op instruments
+    and a forced-off tracer — not an unpatched build, so the measured
+    overhead is exactly what a deployment toggles.
+    """
+    from repro.obs.metrics import (MetricsRegistry, NULL_REGISTRY,
+                                   use_registry)
+    from repro.obs.trace import tracing
+    from repro.serve import (RecommendationService, export_snapshot,
+                             load_snapshot)
+    config = config or ObsPerfConfig()
+    dataset = load_dataset(config.dataset)
+    model = get_model(config.model, dataset, dim=config.dim, rng=config.seed)
+    loss = get_loss(config.loss)
+    train_config = TrainConfig(epochs=config.epochs, eval_every=0, patience=0,
+                               seed=config.seed)
+    Trainer(model, loss, dataset, train_config, evaluator=None).fit()
+
+    # Duplicate-free request stream, as in the serve suite.
+    rng = np.random.default_rng(config.seed)
+    cycles = -(-config.request_users // dataset.num_users)
+    users = np.concatenate([rng.permutation(dataset.num_users)
+                            for _ in range(cycles)])[
+        :config.request_users].astype(np.int64)
+    max_batch = max(config.max_batch, config.batch_size)
+    results = []
+    with tempfile.TemporaryDirectory() as tmp:
+        export_snapshot(model, dataset, tmp, model_name=config.model,
+                        extra={"loss": config.loss, "epochs": config.epochs})
+        snapshot = load_snapshot(tmp)
+        for cache_label, cache_size in (("cold", 0),
+                                        ("warm", 2 * config.request_users)):
+            baseline = None
+            for mode in OBS_MODES:
+                registry = (NULL_REGISTRY if mode == "off"
+                            else MetricsRegistry())
+                with use_registry(registry), \
+                        tracing(enabled=(mode == "trace")):
+                    service = RecommendationService(
+                        snapshot, cache_size=cache_size, max_batch=max_batch)
+                    elapsed = _time_obs_lane(
+                        service, users, batch_size=config.batch_size,
+                        k=config.k, repeats=config.repeats)
+                if mode == "off":
+                    baseline = elapsed
+                results.append({
+                    "kind": "obs",
+                    "mode": mode,
+                    "cache": cache_label,
+                    "batch_size": config.batch_size,
+                    "k": config.k,
+                    "users": int(len(users)),
+                    "repeats": config.repeats,
+                    "total_s": elapsed,
+                    "users_per_s": len(users) / elapsed,
+                    "ms_per_batch": (1e3 * elapsed
+                                     / -(-len(users) // config.batch_size)),
+                    "overhead_pct": 100.0 * (elapsed / baseline - 1.0),
+                })
+        snapshot_version = snapshot.version
+    return {
+        "schema": OBS_SCHEMA,
+        "created_unix": time.time(),
+        "dataset": config.dataset,
+        "snapshot_version": snapshot_version,
+        "config": {
+            "model": config.model,
+            "loss": config.loss,
+            "epochs": config.epochs,
+            "dim": config.dim,
+            "k": config.k,
+            "batch_size": config.batch_size,
+            "repeats": config.repeats,
+            "request_users": config.request_users,
+            "max_batch": config.max_batch,
+            "seed": config.seed,
+            **config.extra_info,
+        },
+        "results": results,
+    }
+
+
+def summarize_obs(payload: dict) -> str:
+    """Human-readable overhead table for one obs payload."""
+    lines = [f"obs suite on {payload['dataset']} "
+             f"(schema {payload['schema']}, "
+             f"snapshot {payload['snapshot_version']})"]
+    for row in payload["results"]:
+        if row["kind"] != "obs":
+            continue
+        lines.append(
+            f"  {row['cache']:<4} {row['mode']:<7}: "
+            f"{row['users_per_s']:>9,.0f} users/s  "
+            f"{row['ms_per_batch']:.3f} ms/batch  "
+            f"overhead {row['overhead_pct']:+.2f}%")
     return "\n".join(lines)
 
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import scipy.sparse as sp
 
+from repro.obs.metrics import get_registry
 from repro.tensor import Tensor, as_tensor, ops
 from repro.tensor.tensor import data_version, is_grad_enabled
 
@@ -96,6 +97,19 @@ class PropagationCache:
         self._entries: dict[tuple[int, int], tuple] = {}
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
+        # The instance attributes above stay the per-model source of
+        # truth (tests pin exact counts on them); the same events also
+        # feed these process-wide aggregate counters so the training
+        # path's cache behaviour shows up in `repro metrics`.
+        registry = get_registry()
+        self._ctr_hits = registry.counter(
+            "graph.propagation.hits", "propagation-cache hits")
+        self._ctr_misses = registry.counter(
+            "graph.propagation.misses", "propagation-cache misses")
+        self._ctr_invalidated = registry.counter(
+            "graph.propagation.invalidations",
+            "cached propagation entries dropped (staleness or clear())")
 
     def _token(self) -> tuple[int, bool]:
         return (data_version(), is_grad_enabled())
@@ -112,7 +126,10 @@ class PropagationCache:
         if self._entries and (
                 len(self._entries) >= self.max_entries
                 or next(iter(self._entries.values()))[2] != token):
+            dropped = len(self._entries)
             self._entries.clear()
+            self.invalidations += dropped
+            self._ctr_invalidated.inc(dropped)
 
     def spmm(self, matrix: sp.spmatrix, x) -> Tensor:
         """Cached :func:`spmm`; falls through on any staleness signal."""
@@ -123,8 +140,10 @@ class PropagationCache:
         if (entry is not None and entry[0] is matrix and entry[1] is x
                 and entry[2] == token):
             self.hits += 1
+            self._ctr_hits.inc()
             return entry[3]
         self.misses += 1
+        self._ctr_misses.inc()
         self._purge_if_stale(token)
         out = spmm(matrix, x)
         self._entries[key] = (matrix, x, token, out)
@@ -137,6 +156,7 @@ class PropagationCache:
         entry = self._entries.get(key)
         if (entry is not None and entry[0] is matrix and entry[2] == token):
             self.hits += 1
+            self._ctr_hits.inc()
             return entry[3]
         self._purge_if_stale(token)
         return None
@@ -147,4 +167,7 @@ class PropagationCache:
         self._entries[(kind, id(matrix))] = (matrix, None, token, value)
 
     def clear(self) -> None:
+        dropped = len(self._entries)
         self._entries.clear()
+        self.invalidations += dropped
+        self._ctr_invalidated.inc(dropped)

@@ -1,0 +1,5 @@
+"""Exposition formats for the metrics registry.
+
+* :mod:`repro.obs.export.prom` — Prometheus text format v0.0.4.
+* :mod:`repro.obs.export.json` — JSON snapshot (``bsl-obs-metrics/v1``).
+"""

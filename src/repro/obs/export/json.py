@@ -1,0 +1,41 @@
+"""JSON snapshot exposition for the metrics registry.
+
+Schema ``bsl-obs-metrics/v1``::
+
+    {
+      "schema": "bsl-obs-metrics/v1",
+      "metrics": [
+        {"name": "serve.service.cache_hits", "kind": "counter",
+         "labels": {"instance": "0"}, "value": 42},
+        {"name": "serve.runtime.latency_ms", "kind": "histogram",
+         "labels": {}, "count": 10, "sum": 12.5,
+         "buckets": [{"le": 1.333, "count": 10}]},
+        ...
+      ]
+    }
+
+Counters and gauges carry ``value``; histograms carry ``count`` /
+``sum`` and their non-empty buckets (``le`` upper edge, ``"+Inf"`` for
+overflow).  The dump is deterministic for a given registry state:
+instruments are sorted by (name, labels).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import metrics as _metrics
+
+__all__ = ["SCHEMA", "snapshot", "render"]
+
+SCHEMA = "bsl-obs-metrics/v1"
+
+
+def snapshot(registry=None) -> dict:
+    """JSON-friendly dump of every instrument in ``registry``."""
+    registry = registry or _metrics.get_registry()
+    return {"schema": SCHEMA, "metrics": registry.snapshot()}
+
+
+def render(registry=None, indent: int = 2) -> str:
+    return json.dumps(snapshot(registry), indent=indent, sort_keys=False)

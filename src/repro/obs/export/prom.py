@@ -1,0 +1,175 @@
+"""Prometheus text exposition format v0.0.4 for the metrics registry.
+
+``render()`` turns a :class:`~repro.obs.metrics.MetricsRegistry` into
+the scrape-endpoint text format: one ``# HELP`` / ``# TYPE`` pair per
+metric family, counters suffixed ``_total``, histograms expanded into
+cumulative ``_bucket{le=...}`` series plus ``_sum`` / ``_count``.
+Instrument names map dots to underscores (``serve.service.cache_hits``
+-> ``serve_service_cache_hits_total``).
+
+``validate_exposition()`` is the inverse smoke check used by
+``scripts/verify.sh``: it re-parses rendered text and reports every
+malformed HELP/TYPE line, duplicate family, unparseable sample, or
+sample that belongs to no declared family.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs import metrics as _metrics
+
+__all__ = ["render", "validate_exposition", "prom_name"]
+
+
+def prom_name(name: str) -> str:
+    """Registry instrument name -> Prometheus metric family name."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _label_str(label_items, extra=None) -> str:
+    pairs = list(label_items)
+    if extra:
+        pairs = pairs + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{_escape_label(str(value))}"'
+                    for key, value in pairs)
+    return "{" + body + "}"
+
+
+def render(registry=None) -> str:
+    """Text exposition of every instrument in ``registry`` (global by
+    default).  Families are emitted in sorted-name order; instruments
+    sharing a family name differ only in labels."""
+    registry = registry or _metrics.get_registry()
+    by_name: dict = {}
+    for instrument in registry.collect():
+        by_name.setdefault(instrument.name, []).append(instrument)
+
+    lines = []
+    for name in sorted(by_name):
+        instruments = by_name[name]
+        kind = instruments[0].kind
+        family = prom_name(name)
+        help_text = registry.help_for(name) or instruments[0].help or name
+        if kind == "counter":
+            family += "_total"
+        lines.append(f"# HELP {family} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {family} {kind}")
+        for instrument in instruments:
+            labels = instrument.labels
+            if kind == "histogram":
+                # Buckets are cumulative, so any subset of boundaries
+                # plus the mandatory +Inf bucket is valid exposition;
+                # emitting only edges where the count changes keeps a
+                # 193-bucket ladder from dominating the scrape.
+                cumulative = 0
+                counts = instrument.bucket_counts()
+                for idx, count in enumerate(counts):
+                    cumulative += count
+                    if count and idx < len(instrument.boundaries):
+                        le = _fmt(instrument.boundaries[idx])
+                        lines.append(
+                            f"{family}_bucket"
+                            f"{_label_str(labels, [('le', le)])} "
+                            f"{cumulative}")
+                lines.append(
+                    f"{family}_bucket"
+                    f"{_label_str(labels, [('le', '+Inf')])} "
+                    f"{instrument.count}")
+                lines.append(f"{family}_sum{_label_str(labels)} "
+                             f"{_fmt(instrument.sum)}")
+                lines.append(f"{family}_count{_label_str(labels)} "
+                             f"{instrument.count}")
+            else:
+                lines.append(f"{family}{_label_str(labels)} "
+                             f"{_fmt(instrument.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_HELP_RE = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$")
+_TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) "
+                      r"(counter|gauge|histogram|summary|untyped)$")
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r" ([-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|[-+]?Inf|NaN)$")
+_HIST_SUFFIX = re.compile(r"_(bucket|sum|count)$")
+
+
+def validate_exposition(text: str) -> list:
+    """Re-parse rendered exposition text; return a list of problems.
+
+    Checks: every non-comment line parses as a sample, HELP/TYPE lines
+    are well-formed and unique per family, and every sample resolves to
+    a declared family (directly, or through a histogram suffix).
+    An empty list means the scrape output is well-formed.
+    """
+    problems = []
+    helps: set = set()
+    types: dict = {}
+    samples = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP"):
+            match = _HELP_RE.match(line)
+            if not match:
+                problems.append(f"line {lineno}: malformed HELP: {line!r}")
+                continue
+            name = match.group(1)
+            if name in helps:
+                problems.append(f"line {lineno}: duplicate HELP for {name}")
+            helps.add(name)
+        elif line.startswith("# TYPE"):
+            match = _TYPE_RE.match(line)
+            if not match:
+                problems.append(f"line {lineno}: malformed TYPE: {line!r}")
+                continue
+            name = match.group(1)
+            if name in types:
+                problems.append(f"line {lineno}: duplicate TYPE for {name}")
+            types[name] = match.group(2)
+        elif line.startswith("#"):
+            continue  # free-form comment, allowed by the format
+        else:
+            match = _SAMPLE_RE.match(line)
+            if not match:
+                problems.append(f"line {lineno}: unparseable sample: "
+                                f"{line!r}")
+                continue
+            samples.append((lineno, match.group(1)))
+    for name in helps:
+        if name not in types:
+            problems.append(f"HELP without TYPE for {name}")
+    for lineno, sample_name in samples:
+        family = sample_name
+        if family not in types:
+            family = _HIST_SUFFIX.sub("", sample_name)
+        if family not in types:
+            problems.append(f"line {lineno}: sample {sample_name!r} has "
+                            "no declared family")
+        elif (family != sample_name
+              and types.get(family) != "histogram"):
+            problems.append(f"line {lineno}: suffixed sample "
+                            f"{sample_name!r} on non-histogram family")
+    return problems

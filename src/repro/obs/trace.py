@@ -1,0 +1,251 @@
+"""Request-scoped span trees on the monotonic clock.
+
+Opt-in tracing for the serving and training paths::
+
+    from repro.obs import get_tracer, tracing
+
+    with tracing():                       # flips the opt-in flag
+        service.recommend(users, k=10)
+        root = get_tracer().last_trace()  # Span tree, JSON-serializable
+
+Span names follow ``<layer>.<component>.<phase>`` (for example
+``serve.router.gather``); the full taxonomy lives in
+``docs/observability.md``.
+
+Two recording styles:
+
+* :meth:`Tracer.span` — a context manager that reads the clock on
+  enter/exit.  Call sites that also feed timing counters reuse the
+  span's own ``start_s``/``end_s`` readings, so the span tree and the
+  stats counters are derived from the *same* clock samples and can
+  never drift apart (pinned by ``tests/test_obs_integration.py``).
+* :meth:`Tracer.record` — attach an already-timed interval with no
+  extra clock reads, for call sites (router phase splits) that already
+  hold the timestamps.
+
+When the tracer is disabled, :meth:`Tracer.span` returns one shared
+no-op context manager — no allocation, no clock reads — so tracing off
+costs a single attribute check per call site.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+
+__all__ = ["Span", "Tracer", "format_span_tree", "get_tracer", "tracing"]
+
+
+class Span:
+    """One timed phase: name, monotonic start/end, children, metadata."""
+
+    __slots__ = ("name", "start_s", "end_s", "meta", "children")
+
+    def __init__(self, name: str, start_s: float, meta: dict | None = None):
+        self.name = name
+        self.start_s = start_s
+        self.end_s = None
+        self.meta = meta or {}
+        self.children = []
+
+    @property
+    def duration_ms(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return (self.end_s - self.start_s) * 1e3
+
+    def to_dict(self, origin_s: float | None = None) -> dict:
+        """JSON-friendly tree; times are ms relative to the root start."""
+        origin = self.start_s if origin_s is None else origin_s
+        out = {
+            "name": self.name,
+            "start_ms": (self.start_s - origin) * 1e3,
+            "duration_ms": self.duration_ms,
+        }
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        if self.children:
+            out["children"] = [c.to_dict(origin) for c in self.children]
+        return out
+
+    def walk(self, depth: int = 0):
+        """Yield ``(span, depth)`` over the subtree, pre-order."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def find(self, name: str) -> list["Span"]:
+        """Every span in the subtree (including self) with ``name``."""
+        return [span for span, _ in self.walk() if span.name == name]
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, duration_ms={self.duration_ms:.3f}, "
+                f"children={len(self.children)})")
+
+
+class _NullSpanContext:
+    """Shared disabled-path context manager: enters to ``None``."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class _SpanContext:
+    __slots__ = ("_tracer", "_name", "_meta", "span")
+
+    def __init__(self, tracer: "Tracer", name: str, meta: dict):
+        self._tracer = tracer
+        self._name = name
+        self._meta = meta
+        self.span = None
+
+    def __enter__(self) -> Span:
+        span = Span(self._name, time.perf_counter(), self._meta)
+        self._tracer._push(span)
+        self.span = span
+        return span
+
+    def __exit__(self, *exc):
+        self.span.end_s = time.perf_counter()
+        self._tracer._pop(self.span)
+        return False
+
+
+class Tracer:
+    """Thread-local span stacks + a bounded ring of finished root spans.
+
+    Disabled by default; flip :attr:`enabled` (or use the module-level
+    :func:`tracing` context manager).  Each thread maintains its own
+    open-span stack, so concurrent worker threads build independent
+    trees; finished roots from all threads land in one shared ring of
+    the most recent ``keep`` traces.
+    """
+
+    def __init__(self, keep: int = 32):
+        if keep <= 0:
+            raise ValueError(f"keep must be positive, got {keep}")
+        self.enabled = False
+        self._local = threading.local()
+        self._roots = collections.deque(maxlen=keep)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **meta):
+        """Context manager timing a phase; yields the live ``Span`` (or
+        ``None`` when tracing is off — call sites branch on that to
+        fall back to their own clock reads)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _SpanContext(self, name, meta)
+
+    def record(self, name: str, start_s: float, end_s: float,
+               **meta) -> Span | None:
+        """Attach an already-timed span under the current open span (or
+        as a root when none is open).  No clock reads."""
+        if not self.enabled:
+            return None
+        span = Span(name, start_s, meta)
+        span.end_s = end_s
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+        return span
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # exception unwound through nested spans
+            del stack[stack.index(span):]
+        if not stack:
+            with self._lock:
+                self._roots.append(span)
+
+    # ------------------------------------------------------------------
+    def last_trace(self) -> Span | None:
+        """The most recently finished root span, if any."""
+        with self._lock:
+            return self._roots[-1] if self._roots else None
+
+    def traces(self) -> list:
+        """Finished root spans, oldest first (bounded ring)."""
+        with self._lock:
+            return list(self._roots)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roots.clear()
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({state}, roots={len(self._roots)})"
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (disabled by default)."""
+    return _TRACER
+
+
+class tracing:
+    """Scope the opt-in flag: ``with tracing(): ...`` traces inside.
+
+    Re-entrant; restores the previous flag state on exit.  Pass
+    ``enabled=False`` to force tracing *off* inside the block (the
+    telemetry-off benchmark lane uses this).
+    """
+
+    def __init__(self, enabled: bool = True, tracer: Tracer | None = None):
+        self._enabled = enabled
+        self._tracer = tracer or _TRACER
+        self._previous = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = self._tracer.enabled
+        self._tracer.enabled = self._enabled
+        return self._tracer
+
+    def __exit__(self, *exc):
+        self._tracer.enabled = self._previous
+        return False
+
+
+def format_span_tree(span: Span, unit: str = "ms") -> str:
+    """Human-readable indented rendering for CLI output."""
+    lines = []
+    for node, depth in span.walk():
+        meta = ""
+        if node.meta:
+            pairs = " ".join(f"{k}={v}" for k, v in sorted(node.meta.items()))
+            meta = f"  [{pairs}]"
+        lines.append(f"{'  ' * depth}{node.name:<32s} "
+                     f"{node.duration_ms:10.3f} {unit}{meta}")
+    return "\n".join(lines)

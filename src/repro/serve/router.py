@@ -30,7 +30,6 @@ request micro-batching behave identically to single-process serving.
 
 from __future__ import annotations
 
-import dataclasses
 import heapq
 import os
 import time
@@ -38,6 +37,8 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from repro.obs.stats import RegistryBackedStats
+from repro.obs.trace import get_tracer
 from repro.serve.index import TopKResult, scoring_ready_users
 from repro.serve.service import RecommendationService
 from repro.serve.shard import ShardedSnapshot, build_shard_index
@@ -46,16 +47,24 @@ __all__ = ["RouterStats", "ShardedTopKIndex",
            "ShardedRecommendationService"]
 
 
-@dataclasses.dataclass
-class RouterStats:
+class RouterStats(RegistryBackedStats):
     """Cumulative scatter-gather timings (drives the serve benchmark's
-    merge-overhead column)."""
+    merge-overhead column).
 
-    sweeps: int = 0
-    users_routed: int = 0
-    gather_s: float = 0.0
-    score_s: float = 0.0
-    merge_s: float = 0.0
+    A registry-backed view (see
+    :class:`~repro.obs.stats.RegistryBackedStats`): each field is a
+    ``serve.router.<field>`` counter labeled per router instance,
+    mutated attribute-style exactly like the dataclass it replaced.
+    """
+
+    _PREFIX = "serve.router"
+    _COUNTERS = {
+        "sweeps": "routed topk() sweeps",
+        "users_routed": "users answered through the scatter-gather path",
+        "gather_s": "seconds gathering user rows / seen lists / candidates",
+        "score_s": "seconds in per-shard partial top-K scoring",
+        "merge_s": "seconds in the k-way merge of shard partials",
+    }
 
     @property
     def merge_fraction(self) -> float:
@@ -65,11 +74,7 @@ class RouterStats:
 
     def reset(self) -> None:
         """Zero every counter (used between benchmark passes)."""
-        self.sweeps = 0
-        self.users_routed = 0
-        self.gather_s = 0.0
-        self.score_s = 0.0
-        self.merge_s = 0.0
+        self._reset_counters()
 
 
 class ShardedTopKIndex:
@@ -252,6 +257,14 @@ class ShardedTopKIndex:
         t2 = time.perf_counter()
         items, scores = _merge_partials(partials, k)
         t3 = time.perf_counter()
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Spans reuse the exact t0..t3 readings that feed the stats
+            # counters, so trace and counters cannot drift.
+            tracer.record("serve.router.gather", t0, t1, users=len(chunk))
+            tracer.record("serve.router.score", t1, t2,
+                          shards=len(self.shard_indexes))
+            tracer.record("serve.router.merge", t2, t3)
         self.stats.gather_s += t1 - t0
         self.stats.score_s += t2 - t1
         self.stats.merge_s += t3 - t2

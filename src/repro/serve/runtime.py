@@ -45,6 +45,10 @@ import time
 
 import numpy as np
 
+from repro.obs.metrics import Reservoir, get_registry
+from repro.obs.stats import RegistryBackedStats
+from repro.obs.trace import get_tracer
+
 __all__ = ["OverloadError", "RuntimeConfig", "RuntimeStats", "AsyncRequest",
            "ServingRuntime", "latency_percentile"]
 
@@ -91,6 +95,11 @@ class RuntimeConfig:
     shrink: float = 0.5
     #: idle worker poll interval, milliseconds
     poll_ms: float = 0.2
+    #: lifetime latency sample kept for :meth:`ServingRuntime.latency_quantiles`
+    #: — a fixed-size seeded reservoir, so memory stays bounded over
+    #: arbitrarily long soaks while the quantiles describe the whole run
+    reservoir_size: int = 2048
+    reservoir_seed: int = 0
 
     def __post_init__(self):
         if self.slo_ms <= 0:
@@ -114,11 +123,18 @@ class RuntimeConfig:
                              f"grow={self.grow}, shrink={self.shrink}")
         if self.poll_ms <= 0:
             raise ValueError(f"poll_ms must be positive, got {self.poll_ms}")
+        if self.reservoir_size <= 0:
+            raise ValueError(f"reservoir_size must be positive, "
+                             f"got {self.reservoir_size}")
 
 
-@dataclasses.dataclass
-class RuntimeStats:
+class RuntimeStats(RegistryBackedStats):
     """Lifetime counters of one runtime (feeds ``BENCH_latency.json``).
+
+    A registry-backed view (see
+    :class:`~repro.obs.stats.RegistryBackedStats`): each field is a
+    ``serve.runtime.<field>`` counter labeled per runtime instance,
+    mutated attribute-style exactly like the dataclass it replaced.
 
     ``queue_s`` / ``service_s`` are **per-request sums**: each completed
     request contributes its own queue wait and its batch's execution
@@ -126,16 +142,19 @@ class RuntimeStats:
     breakdown terms.
     """
 
-    admitted: int = 0
-    rejected: int = 0
-    completed: int = 0
-    batches: int = 0
-    queue_s: float = 0.0
-    service_s: float = 0.0
-    grows: int = 0
-    shrinks: int = 0
-    refreshes: int = 0
-    refresh_s: float = 0.0
+    _PREFIX = "serve.runtime"
+    _COUNTERS = {
+        "admitted": "requests accepted into the bounded queue",
+        "rejected": "requests shed at admission (queue full)",
+        "completed": "requests finished by the worker",
+        "batches": "micro-batches executed",
+        "queue_s": "per-request admission-to-batch-start wait, summed",
+        "service_s": "per-request batch execution time, summed",
+        "grows": "batch-size controller growth steps",
+        "shrinks": "batch-size controller shrink steps",
+        "refreshes": "snapshot refreshes applied between batches",
+        "refresh_s": "seconds spent applying refreshes",
+    }
 
     @property
     def shed_rate(self) -> float:
@@ -236,8 +255,27 @@ class ServingRuntime:
         self.stats = RuntimeStats()
         self.batch_size = self.config.initial_batch
         self._queue: queue.Queue = queue.Queue(maxsize=self.config.max_queue)
+        # Recent-window samples feed the batch-size controller only; the
+        # bounded seeded reservoir keeps a lifetime-representative sample
+        # for latency_quantiles() without ever growing RSS.
         self._latencies: collections.deque = collections.deque(
             maxlen=self.config.window)
+        self._reservoir = Reservoir(capacity=self.config.reservoir_size,
+                                    seed=self.config.reservoir_seed)
+        registry = get_registry()
+        # Share the stats view's instance label so one runtime is one
+        # instance across its counters, histograms and gauge.
+        labels = self.stats.obs_labels
+        self._hist_latency = registry.histogram(
+            "serve.runtime.latency_ms",
+            "end-to-end enqueue-to-result latency", labels=labels)
+        self._hist_queue = registry.histogram(
+            "serve.runtime.queue_ms",
+            "admission-to-batch-start wait", labels=labels)
+        self._gauge_batch = registry.gauge(
+            "serve.runtime.batch_size",
+            "current adaptive micro-batch size", labels=labels)
+        self._gauge_batch.set(self.batch_size)
         self._since_adapt = 0
         self._stop = threading.Event()
         self._worker: threading.Thread | None = None
@@ -344,25 +382,35 @@ class ServingRuntime:
             slot, self._refresh_slot = self._refresh_slot, None
         if slot is None:
             return
-        started = time.perf_counter()
-        try:
-            snapshot_or_deltas, index = slot["args"]
-            slot["invalidated"] = self.service.refresh(snapshot_or_deltas,
-                                                       index=index)
-        except BaseException as exc:
-            slot["error"] = exc
-        else:
+        # When tracing is on, refresh_s is accumulated from the span's
+        # own clock readings, so the trace and the counter agree exactly.
+        with get_tracer().span("serve.runtime.refresh") as span:
+            started = span.start_s if span is not None \
+                else time.perf_counter()
+            try:
+                snapshot_or_deltas, index = slot["args"]
+                slot["invalidated"] = self.service.refresh(
+                    snapshot_or_deltas, index=index)
+            except BaseException as exc:
+                slot["error"] = exc
+        ended = span.end_s if span is not None else time.perf_counter()
+        if slot["error"] is None:
             self.stats.refreshes += 1
-            self.stats.refresh_s += time.perf_counter() - started
-        finally:
-            slot["done"].set()
+            self.stats.refresh_s += ended - started
+        slot["done"].set()
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def latency_quantiles(self, qs=(50.0, 99.0)) -> dict:
-        """Recent-window latency quantiles, e.g. ``{"p50_ms": ...}``."""
-        samples = list(self._latencies)
+        """Lifetime latency quantiles, e.g. ``{"p50_ms": ...}``.
+
+        Computed over a fixed-size seeded reservoir sample of *every*
+        completed request (capacity ``config.reservoir_size``), so the
+        estimate covers the whole soak at bounded memory.  The batch-size
+        controller keeps using its separate recent-window deque.
+        """
+        samples = self._reservoir.values()
         return {f"p{q:g}_ms": latency_percentile(samples, q) for q in qs}
 
     def breakdown(self) -> dict:
@@ -372,6 +420,13 @@ class ServingRuntime:
         counters, ``sweep_ms`` from the service's index-sweep clock, and
         — when the service routes a sharded snapshot — the router's
         gather/score/merge split is appended per sweep.
+
+        With tracing enabled (:func:`repro.obs.trace.tracing`) these
+        counters are accumulated from the batch/refresh spans' own clock
+        readings, so this breakdown and the captured span trees are two
+        projections of the same measurements — they reconcile exactly
+        (``tests/test_obs_integration.py`` pins
+        ``sum(span durations × batch) == service_s``).
         """
         n = max(self.stats.completed, 1)
         out = {
@@ -422,33 +477,49 @@ class ServingRuntime:
         return batch
 
     def _execute(self, batch: list[AsyncRequest]) -> None:
-        started = time.perf_counter()
-        groups: dict[tuple[int, bool], list[AsyncRequest]] = {}
-        for request in batch:
-            groups.setdefault((request.k, request.filter_seen),
-                              []).append(request)
-        for (k, filter_seen), members in groups.items():
-            try:
-                answers = self.service.recommend(
-                    [m.user_id for m in members], k=k,
-                    filter_seen=filter_seen)
-            except BaseException as exc:  # propagate to every waiter
-                answers = None
-                for member in members:
-                    member._error = exc
-            if answers is not None:
-                for member, answer in zip(members, answers):
-                    member._result = answer
-        finished = time.perf_counter()
+        # When tracing is on, the batch span's own clock readings become
+        # started/finished, so the span tree and the queue_s/service_s
+        # counters are derived from the same samples — breakdown() and a
+        # trace can never disagree (pinned by tests/test_obs_integration).
+        with get_tracer().span("serve.runtime.batch",
+                               batch=len(batch)) as span:
+            started = span.start_s if span is not None \
+                else time.perf_counter()
+            groups: dict[tuple[int, bool], list[AsyncRequest]] = {}
+            for request in batch:
+                groups.setdefault((request.k, request.filter_seen),
+                                  []).append(request)
+            for (k, filter_seen), members in groups.items():
+                try:
+                    answers = self.service.recommend(
+                        [m.user_id for m in members], k=k,
+                        filter_seen=filter_seen)
+                except BaseException as exc:  # propagate to every waiter
+                    answers = None
+                    for member in members:
+                        member._error = exc
+                if answers is not None:
+                    for member, answer in zip(members, answers):
+                        member._result = answer
+        finished = span.end_s if span is not None else time.perf_counter()
         self.stats.batches += 1
         self.stats.completed += len(batch)
+        # Sum per-request terms locally and publish once: instrument
+        # writes are lock-protected, so per-request updates would put
+        # O(batch) lock traffic on the hot path.
+        queue_s = 0.0
         for request in batch:
             request.started_at = started
             request.finished_at = finished
-            self.stats.queue_s += started - request.enqueued_at
-            self.stats.service_s += finished - started
-            self._latencies.append(request.latency_ms)
+            queue_s += started - request.enqueued_at
+            latency_ms = request.latency_ms
+            self._latencies.append(latency_ms)
+            self._reservoir.add(latency_ms)
+            self._hist_latency.observe(latency_ms)
+            self._hist_queue.observe(request.queue_ms)
             request._event.set()
+        self.stats.queue_s += queue_s
+        self.stats.service_s += (finished - started) * len(batch)
         self._since_adapt += len(batch)
         if self._since_adapt >= self.config.window:
             self._adapt()
@@ -468,6 +539,7 @@ class ServingRuntime:
                                   max(self.batch_size + 1,
                                       int(self.batch_size * config.grow)))
             self.stats.grows += 1
+        self._gauge_batch.set(self.batch_size)
 
     def __repr__(self) -> str:
         return (f"ServingRuntime(running={self.running}, "

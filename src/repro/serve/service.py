@@ -24,6 +24,8 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.obs.stats import RegistryBackedStats
+from repro.obs.trace import get_tracer
 from repro.serve.index import ExactTopKIndex, TopKIndex
 from repro.serve.snapshot import EmbeddingSnapshot
 
@@ -46,9 +48,15 @@ class Recommendation:
     from_cache: bool = False
 
 
-@dataclasses.dataclass
-class ServiceStats:
+class ServiceStats(RegistryBackedStats):
     """Lifetime counters (exported into the serve benchmark payload).
+
+    A registry-backed view: each field is a ``serve.service.<field>``
+    counter in the global :class:`~repro.obs.metrics.MetricsRegistry`
+    (labeled per service instance), readable and writable
+    attribute-style exactly like the dataclass it replaced — so the
+    pinned accounting invariants below survive unchanged while the same
+    counts flow to the Prometheus/JSON exporters.
 
     ``requests`` counts **client-facing** calls only: one per
     :meth:`RecommendationService.recommend` call and one per
@@ -66,14 +74,17 @@ class ServiceStats:
     :class:`~repro.serve.router.RouterStats`).
     """
 
-    requests: int = 0
-    users_served: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    index_sweeps: int = 0
-    sweep_s: float = 0.0
-    refreshes: int = 0
-    cache_invalidated: int = 0
+    _PREFIX = "serve.service"
+    _COUNTERS = {
+        "requests": "client-facing recommend()/submit() calls",
+        "users_served": "user slots answered (hits + misses)",
+        "cache_hits": "user slots answered from the LRU or in-batch dedup",
+        "cache_misses": "user slots that required index work",
+        "index_sweeps": "batched index topk() sweeps issued",
+        "sweep_s": "wall-clock seconds inside index topk() sweeps",
+        "refreshes": "snapshot refresh() swaps applied",
+        "cache_invalidated": "LRU entries evicted by refresh()",
+    }
 
     @property
     def hit_rate(self) -> float:
@@ -216,9 +227,10 @@ class RecommendationService:
         each get their own entry).
         """
         self.stats.requests += 1
-        return self._serve(np.atleast_1d(np.asarray(user_ids,
-                                                    dtype=np.int64)),
-                           k, filter_seen)
+        users = np.atleast_1d(np.asarray(user_ids, dtype=np.int64))
+        with get_tracer().span("serve.service.recommend",
+                               users=len(users), k=k):
+            return self._serve(users, k, filter_seen)
 
     def _serve(self, users: np.ndarray, k: int,
                filter_seen: bool) -> list[Recommendation]:
@@ -234,29 +246,41 @@ class RecommendationService:
         results: dict[int, Recommendation] = {}
         misses: list[int] = []
         queued: set[int] = set()
+        # Hit/miss tallies accumulate in locals and publish once below:
+        # the stats fields are lock-protected registry counters now, so
+        # per-user updates would put O(users) lock traffic on the hot
+        # path (the obs benchmark pins this path within 5% of
+        # telemetry-off).
+        hits = 0
         for user in order:
             if user in results or user in queued:
                 # In-batch duplicate: answered from the first
                 # occurrence's result with no extra index work — a hit,
                 # so hits + misses always reconciles with users_served.
-                self.stats.cache_hits += 1
+                hits += 1
                 continue
             cached = self.cache.get(self._key(user, k, filter_seen))
             if cached is not None:
-                self.stats.cache_hits += 1
+                hits += 1
                 items, scores = cached
                 results[user] = Recommendation(
                     user_id=user, items=items, scores=scores,
                     snapshot_version=self.snapshot.version, from_cache=True)
             else:
-                self.stats.cache_misses += 1
                 queued.add(user)
                 misses.append(user)
+        self.stats.cache_hits += hits
+        self.stats.cache_misses += len(misses)
         for lo in range(0, len(misses), self.max_batch):
             batch = np.asarray(misses[lo:lo + self.max_batch], dtype=np.int64)
             sweep_start = time.perf_counter()
             top = self.index.topk(batch, k=k, filter_seen=filter_seen)
-            self.stats.sweep_s += time.perf_counter() - sweep_start
+            sweep_end = time.perf_counter()
+            # The span reuses the exact readings that feed ``sweep_s``,
+            # so the trace and the counters can never disagree.
+            get_tracer().record("serve.service.sweep", sweep_start,
+                                sweep_end, users=len(batch))
+            self.stats.sweep_s += sweep_end - sweep_start
             self.stats.index_sweeps += 1
             for row, user in enumerate(batch.tolist()):
                 items = top.items[row].copy()
@@ -320,12 +344,15 @@ class RecommendationService:
         for request in pending:
             groups.setdefault((request.k, request.filter_seen),
                               []).append(request)
-        for (k, filter_seen), members in groups.items():
-            answers = self._serve(
-                np.asarray([m.user_id for m in members], dtype=np.int64),
-                k, filter_seen)
-            for member, answer in zip(members, answers):
-                member._result = answer
+        with get_tracer().span("serve.service.flush",
+                               requests=len(pending)):
+            for (k, filter_seen), members in groups.items():
+                answers = self._serve(
+                    np.asarray([m.user_id for m in members],
+                               dtype=np.int64),
+                    k, filter_seen)
+                for member, answer in zip(members, answers):
+                    member._result = answer
 
     @property
     def pending(self) -> int:

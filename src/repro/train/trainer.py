@@ -9,6 +9,7 @@ losses (SSL branches) and post-step hooks (CML projection).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -20,7 +21,9 @@ from repro.eval.evaluator import Evaluator
 from repro.losses.base import Loss
 from repro.models.base import Recommender
 from repro.nn.optim import Adam, SparseAdam
+from repro.obs.metrics import get_registry
 from repro.tensor.random import ensure_rng, spawn_rngs
+from repro.tensor.sparse import RowSparseGrad
 from repro.train.config import TrainConfig
 
 __all__ = ["TrainResult", "Trainer", "train_model"]
@@ -80,6 +83,24 @@ class Trainer:
             self.optimizer = Adam(model.parameters(),
                                   lr=config.learning_rate,
                                   weight_decay=config.weight_decay)
+        # Training telemetry.  All per-step instrumentation is gated on
+        # ``self._metrics_on`` so a disabled registry costs nothing —
+        # the perf harness times train_step() directly and must not pay
+        # for clock reads or grad introspection it didn't ask for.
+        registry = get_registry()
+        self._metrics_on = registry.enabled
+        if self._metrics_on:
+            self._ctr_steps = registry.counter(
+                "train.steps", "optimizer steps taken")
+            self._ctr_epochs = registry.counter(
+                "train.epochs", "training epochs completed")
+            self._hist_step = registry.histogram(
+                "train.step_ms", "wall time of one train_step() in ms")
+            self._hist_epoch_loss = registry.histogram(
+                "train.epoch_loss", "mean training loss per epoch")
+            self._hist_touched = registry.histogram(
+                "train.touched_rows",
+                "embedding rows touched per step (row-sparse grads only)")
         if evaluator is None and (config.eval_every or config.patience):
             if not isinstance(dataset, InteractionDataset):
                 raise ValueError(
@@ -123,6 +144,9 @@ class Trainer:
                 self.loss.set_epoch(epoch, cfg.epochs)
             epoch_loss = self._run_epoch()
             result.loss_history.append(epoch_loss)
+            if self._metrics_on:
+                self._ctr_epochs.inc()
+                self._hist_epoch_loss.observe(epoch_loss)
             if cfg.verbose:
                 print(f"[{self.dataset.name}] epoch {epoch:3d} "
                       f"loss={epoch_loss:.4f}")
@@ -187,6 +211,7 @@ class Trainer:
         (row gathers only), so the backward produces row-sparse
         gradients for the sparse optimizer.
         """
+        started = time.perf_counter() if self._metrics_on else 0.0
         self.optimizer.zero_grad()
         loss_t = self.model.custom_loss(batch)
         if loss_t is None:
@@ -201,6 +226,19 @@ class Trainer:
         loss_t.backward()
         self.optimizer.step()
         self.model.post_step()
+        if self._metrics_on:
+            self._hist_step.observe((time.perf_counter() - started) * 1e3)
+            self._ctr_steps.inc()
+            # Gradients survive step() (cleared by the next zero_grad),
+            # so row-sparse nnz can still be read here.
+            touched = 0
+            sparse = False
+            for p in self.optimizer.params:
+                if isinstance(p.grad, RowSparseGrad):
+                    sparse = True
+                    touched += p.grad.nnz
+            if sparse:
+                self._hist_touched.observe(touched)
         return loss_t.item()
 
 

@@ -206,3 +206,27 @@ class TestReadmeAdvertisesCI:
     def test_ci_section_documents_the_split(self):
         readme = (REPO_ROOT / "README.md").read_text()
         assert "Continuous integration" in readme
+
+
+class TestObservabilityWiring:
+    """The observability layer is wired into CLI, make, and verify."""
+
+    def test_metrics_verb_exists(self):
+        assert "metrics" in _cli_verbs()
+
+    def test_recommend_supports_trace_flag(self):
+        from repro.cli import build_parser
+        text = build_parser().parse_args(
+            ["recommend", "--snapshot", "x", "--users", "0", "--trace"])
+        assert text.trace is True
+
+    def test_bench_obs_target_and_artifact(self):
+        makefile = (REPO_ROOT / "Makefile").read_text()
+        assert re.search(r"^bench-obs:", makefile, re.MULTILINE)
+        assert "bench obs" in makefile
+        assert (REPO_ROOT / "BENCH_obs.json").exists()
+        assert (REPO_ROOT / "benchmarks" / "obs_perf.py").exists()
+
+    def test_verify_runs_metrics_smoke(self):
+        text = (REPO_ROOT / "scripts" / "verify.sh").read_text()
+        assert "metrics --demo --format prom --validate" in text

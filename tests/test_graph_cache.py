@@ -148,3 +148,49 @@ class TestTrainingParity:
             histories[cached] = result.loss_history
         np.testing.assert_allclose(histories[True], histories[False],
                                    rtol=1e-12, atol=1e-14)
+
+
+class TestRegistryCounters:
+    """The cache's instance counters and the process-wide registry
+    aggregates are fed by the same events — they must always agree."""
+
+    def test_instance_and_global_counters_agree(self, adjacency):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+        with use_registry(MetricsRegistry()) as registry:
+            cache = PropagationCache()
+            x = Tensor(np.random.default_rng(1).normal(
+                size=(adjacency.shape[1], 4)), requires_grad=True)
+            cache.spmm(adjacency, x)
+            cache.spmm(adjacency, x)        # hit
+            bump_data_version()
+            cache.spmm(adjacency, x)        # stale -> drop + miss
+            cache.clear()                   # drops the live entry
+            hits = registry.counter("graph.propagation.hits")
+            misses = registry.counter("graph.propagation.misses")
+            dropped = registry.counter("graph.propagation.invalidations")
+            assert hits.value == cache.hits == 1
+            assert misses.value == cache.misses == 2
+            assert dropped.value == cache.invalidations == 2
+
+    def test_lightgcn_train_loop_hit_pattern(self, tiny_dataset):
+        """Over a lightgcn training epoch the registry records the exact
+        forward/backward cache rhythm: one miss per step (weights moved)
+        and one hit per extra propagate within the same step."""
+        from repro.obs.metrics import MetricsRegistry, use_registry
+        from repro.train.trainer import train_model
+        with use_registry(MetricsRegistry()) as registry:
+            model = get_model("lightgcn", tiny_dataset, dim=8, rng=0,
+                              cache_propagation=True)
+            train_model(model, BSLLoss(), tiny_dataset, epochs=1,
+                        batch_size=64, n_negatives=4, eval_every=0,
+                        patience=0, seed=0)
+            hits = registry.counter("graph.propagation.hits").value
+            misses = registry.counter("graph.propagation.misses").value
+            assert hits == model.propagation_cache.hits
+            assert misses == model.propagation_cache.misses
+            # every optimizer step invalidates -> at least one miss per
+            # step, and the loss's second propagate lands as a hit
+            assert misses >= 1
+            assert registry.counter(
+                "graph.propagation.invalidations").value \
+                == model.propagation_cache.invalidations

@@ -1,0 +1,133 @@
+"""Telemetry-overhead harness + the committed ≤5% frontier pin."""
+
+import importlib.util
+import json
+import math
+import pathlib
+
+import pytest
+
+from repro.experiments.perf import (OBS_MODES, OBS_SCHEMA, ObsPerfConfig,
+                                    run_obs_suite, summarize_obs,
+                                    write_report)
+
+pytestmark = pytest.mark.filterwarnings("ignore")
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+#: The telemetry contract docs/observability.md advertises: serving with
+#: the metrics registry enabled costs at most this much cold-cache
+#: throughput versus telemetry off.
+MAX_METRICS_OVERHEAD_PCT = 5.0
+
+_TINY = ObsPerfConfig(dataset="tiny", epochs=1, dim=8, batch_size=16,
+                      repeats=2, request_users=64, max_batch=32)
+
+
+@pytest.fixture(scope="module")
+def check_bench():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench", REPO_ROOT / "scripts" / "check_bench.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def tiny_payload():
+    return run_obs_suite(_TINY)
+
+
+class TestObsSuite:
+    def test_schema_and_lane_grid(self, tiny_payload):
+        assert tiny_payload["schema"] == OBS_SCHEMA
+        rows = tiny_payload["results"]
+        lanes = {(r["cache"], r["mode"]) for r in rows}
+        assert lanes == {(c, m) for c in ("cold", "warm")
+                         for m in OBS_MODES}
+        assert len(rows) == len(lanes)
+
+    def test_rows_are_finite_and_positive(self, tiny_payload):
+        for row in tiny_payload["results"]:
+            assert row["kind"] == "obs"
+            assert row["total_s"] > 0.0
+            assert row["users_per_s"] > 0.0
+            assert math.isfinite(row["overhead_pct"])
+
+    def test_off_lane_is_the_baseline(self, tiny_payload):
+        for row in tiny_payload["results"]:
+            if row["mode"] == "off":
+                assert row["overhead_pct"] == 0.0
+
+    def test_overhead_is_relative_to_same_cache_baseline(self,
+                                                         tiny_payload):
+        by_lane = {(r["cache"], r["mode"]): r
+                   for r in tiny_payload["results"]}
+        for cache in ("cold", "warm"):
+            base = by_lane[(cache, "off")]["total_s"]
+            for mode in ("metrics", "trace"):
+                row = by_lane[(cache, mode)]
+                expected = 100.0 * (row["total_s"] / base - 1.0)
+                assert row["overhead_pct"] == pytest.approx(expected)
+
+    def test_report_passes_schema_checker(self, tiny_payload, tmp_path,
+                                          check_bench):
+        out = tmp_path / "BENCH_obs.json"
+        write_report(tiny_payload, out)
+        assert check_bench.check_file(out) == []
+
+    def test_summary_names_every_lane(self, tiny_payload):
+        text = summarize_obs(tiny_payload)
+        for token in ("cold", "warm", "off", "metrics", "trace",
+                      "overhead"):
+            assert token in text
+
+
+class TestCommittedFrontier:
+    """BENCH_obs.json is a committed artifact; these tests pin it."""
+
+    @pytest.fixture(scope="class")
+    def committed(self):
+        path = REPO_ROOT / "BENCH_obs.json"
+        assert path.exists(), "BENCH_obs.json must be committed"
+        return json.loads(path.read_text())
+
+    def test_registered_with_bench_checker(self, check_bench):
+        assert "BENCH_obs.json" in check_bench.EXPECTED
+        assert check_bench.check_file(REPO_ROOT / "BENCH_obs.json") == []
+
+    def test_schema_and_grid(self, committed):
+        assert committed["schema"] == OBS_SCHEMA
+        rows = committed["results"]
+        assert len(rows) == 6
+        assert {(r["cache"], r["mode"]) for r in rows} \
+            == {(c, m) for c in ("cold", "warm") for m in OBS_MODES}
+
+    def test_metrics_overhead_within_contract(self, committed):
+        """The headline pin: metrics-enabled serving stays within the
+        documented ≤5% cold-cache overhead envelope."""
+        by_lane = {(r["cache"], r["mode"]): r for r in committed["results"]}
+        assert by_lane[("cold", "metrics")]["overhead_pct"] \
+            <= MAX_METRICS_OVERHEAD_PCT
+        assert by_lane[("warm", "metrics")]["overhead_pct"] \
+            <= MAX_METRICS_OVERHEAD_PCT
+
+    def test_committed_rows_finite(self, committed):
+        for row in committed["results"]:
+            assert row["users_per_s"] > 0.0
+            assert math.isfinite(row["overhead_pct"])
+            assert row["overhead_pct"] == 0.0 or row["mode"] != "off"
+
+
+class TestCLI:
+    def test_bench_obs_writes_report(self, tmp_path, capsys, check_bench):
+        from repro.cli import main
+        out = tmp_path / "BENCH_obs.json"
+        rc = main(["bench", "obs", "--dataset", "tiny", "--epochs", "1",
+                   "--dim", "8", "--batch-size", "16", "--repeats", "2",
+                   "--request-users", "64", "--out", str(out)])
+        assert rc == 0
+        assert check_bench.check_file(out) == []
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == OBS_SCHEMA
+        assert "overhead" in capsys.readouterr().out

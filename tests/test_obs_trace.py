@@ -1,0 +1,155 @@
+"""Tracer: span nesting, record(), opt-in flag, disabled fast path."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import Span, Tracer, format_span_tree, get_tracer, tracing
+
+
+class TestSpanTree:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracing(tracer=tracer):
+            with tracer.span("serve.a.outer", users=3):
+                with tracer.span("serve.a.inner"):
+                    pass
+                with tracer.span("serve.a.inner"):
+                    pass
+        root = tracer.last_trace()
+        assert root.name == "serve.a.outer"
+        assert root.meta == {"users": 3}
+        assert [c.name for c in root.children] == ["serve.a.inner"] * 2
+        assert root.end_s >= root.start_s
+        for child in root.children:
+            assert root.start_s <= child.start_s <= child.end_s <= root.end_s
+
+    def test_record_attaches_pretimed_child(self):
+        tracer = Tracer()
+        with tracing(tracer=tracer):
+            with tracer.span("serve.a.outer"):
+                tracer.record("serve.a.phase", 1.0, 1.5, shards=2)
+        root = tracer.last_trace()
+        (child,) = root.children
+        assert child.name == "serve.a.phase"
+        assert child.duration_ms == pytest.approx(500.0)
+        assert child.meta == {"shards": 2}
+
+    def test_record_without_open_span_is_a_root(self):
+        tracer = Tracer()
+        with tracing(tracer=tracer):
+            tracer.record("serve.a.solo", 2.0, 3.0)
+        assert tracer.last_trace().name == "serve.a.solo"
+
+    def test_exception_unwinds_open_spans(self):
+        tracer = Tracer()
+        with tracing(tracer=tracer):
+            with pytest.raises(RuntimeError):
+                with tracer.span("serve.a.outer"):
+                    with tracer.span("serve.a.inner"):
+                        raise RuntimeError("boom")
+            # the stack fully unwound: a new span starts a fresh root
+            with tracer.span("serve.a.next"):
+                pass
+        assert tracer.last_trace().name == "serve.a.next"
+
+    def test_threads_build_independent_trees(self):
+        tracer = Tracer()
+
+        def worker():
+            with tracer.span("serve.a.thread"):
+                pass
+
+        with tracing(tracer=tracer):
+            with tracer.span("serve.a.main"):
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+        names = sorted(root.name for root in tracer.traces())
+        # the worker's span is its own root, not a child of main's
+        assert names == ["serve.a.main", "serve.a.thread"]
+
+    def test_ring_keeps_most_recent(self):
+        tracer = Tracer(keep=2)
+        with tracing(tracer=tracer):
+            for i in range(4):
+                with tracer.span("serve.a.root", i=i):
+                    pass
+        roots = tracer.traces()
+        assert len(roots) == 2
+        assert [r.meta["i"] for r in roots] == [2, 3]
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracing(tracer=tracer):
+            with tracer.span("serve.a.x"):
+                pass
+        tracer.clear()
+        assert tracer.last_trace() is None
+
+
+class TestDisabledPath:
+    def test_disabled_span_yields_none_and_records_nothing(self):
+        tracer = Tracer()
+        assert not tracer.enabled
+        with tracer.span("serve.a.x") as span:
+            assert span is None
+        assert tracer.last_trace() is None
+
+    def test_disabled_span_context_is_shared_singleton(self):
+        tracer = Tracer()
+        assert tracer.span("serve.a.x") is tracer.span("serve.a.y")
+
+    def test_record_disabled_returns_none(self):
+        tracer = Tracer()
+        assert tracer.record("serve.a.x", 0.0, 1.0) is None
+
+    def test_tracing_restores_previous_flag(self):
+        tracer = Tracer()
+        with tracing(tracer=tracer):
+            assert tracer.enabled
+            with tracing(enabled=False, tracer=tracer):
+                assert not tracer.enabled
+            assert tracer.enabled
+        assert not tracer.enabled
+
+    def test_global_tracer_disabled_by_default(self):
+        assert isinstance(get_tracer(), Tracer)
+
+
+class TestSerialization:
+    def _tree(self):
+        tracer = Tracer()
+        with tracing(tracer=tracer):
+            with tracer.span("serve.a.outer", k=10):
+                with tracer.span("serve.a.inner"):
+                    pass
+        return tracer.last_trace()
+
+    def test_to_dict_is_json_serializable(self):
+        root = self._tree()
+        payload = json.loads(json.dumps(root.to_dict()))
+        assert payload["name"] == "serve.a.outer"
+        assert payload["start_ms"] == 0.0  # relative to the root
+        assert payload["children"][0]["name"] == "serve.a.inner"
+        assert payload["children"][0]["start_ms"] >= 0.0
+        assert payload["meta"] == {"k": 10}
+
+    def test_walk_and_find(self):
+        root = self._tree()
+        assert [d for _s, d in root.walk()] == [0, 1]
+        assert len(root.find("serve.a.inner")) == 1
+        assert root.find("serve.a.outer") == [root]
+
+    def test_format_span_tree_indents(self):
+        text = format_span_tree(self._tree())
+        lines = text.splitlines()
+        assert lines[0].startswith("serve.a.outer")
+        assert lines[1].startswith("  serve.a.inner")
+        assert "ms" in lines[0]
+        assert "[k=10]" in lines[0]
+
+    def test_duration_zero_while_open(self):
+        span = Span("serve.a.x", 1.0)
+        assert span.duration_ms == 0.0

@@ -254,3 +254,50 @@ class TestBreakdown:
         assert not errors
         assert runtime.stats.completed == 30
         assert runtime.stats.admitted == 30
+
+
+class TestLatencyReservoir:
+    """latency_quantiles() samples a bounded *seeded* reservoir, so the
+    lifetime estimate is deterministic for a given request order and
+    never grows with the soak length."""
+
+    def test_reservoir_config_knobs_validated(self):
+        with pytest.raises(ValueError, match="reservoir_size"):
+            RuntimeConfig(reservoir_size=0)
+        with pytest.raises(ValueError, match="reservoir_size"):
+            RuntimeConfig(reservoir_size=-8)
+
+    def test_sample_is_bounded_by_capacity(self, service):
+        config = fast_config(reservoir_size=16)
+        with ServingRuntime(service, config) as runtime:
+            for u in range(80):
+                runtime.submit(u % 50, k=5).result(timeout=10.0)
+        assert len(runtime._reservoir) == 16
+        assert runtime._reservoir.seen == runtime.stats.completed == 80
+        quantiles = runtime.latency_quantiles()
+        assert quantiles["p50_ms"] >= 0.0
+        assert quantiles["p99_ms"] >= quantiles["p50_ms"]
+
+    def test_under_capacity_keeps_every_sample(self, service):
+        with ServingRuntime(service, fast_config()) as runtime:
+            for u in range(10):
+                runtime.submit(u, k=5).result(timeout=10.0)
+        assert len(runtime._reservoir) == 10
+        assert runtime._reservoir.seen == 10
+
+    def test_selection_is_seed_deterministic(self):
+        """Which *positions* of the latency stream survive is a pure
+        function of (capacity, seed) — replaying the same stream through
+        a twin reservoir keeps identical samples."""
+        from repro.obs.metrics import Reservoir
+        config = RuntimeConfig(reservoir_size=32, reservoir_seed=7)
+        twin = Reservoir(capacity=config.reservoir_size,
+                         seed=config.reservoir_seed)
+        stream = [float(i % 97) for i in range(500)]
+        mirror = Reservoir(capacity=config.reservoir_size,
+                           seed=config.reservoir_seed)
+        for v in stream:
+            twin.add(v)
+            mirror.add(v)
+        assert twin.values() == mirror.values()
+        assert twin.seen == 500
