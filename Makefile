@@ -14,7 +14,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify verify-slow test ci docs-check bench-check bench bench-fastpath bench-train bench-serve bench-ann bench-latency bench-refresh bench-obs bench-scale
+.PHONY: verify verify-slow test ci docs-check bench-check bench bench-fastpath bench-train bench-serve bench-ann bench-latency bench-refresh bench-obs bench-faults bench-scale
 
 verify: docs-check bench-check
 	$(PYTHON) -m pytest -x -q
@@ -58,3 +58,6 @@ bench-obs:
 
 bench-scale:
 	$(PYTHON) -m repro.cli bench scale --out BENCH_scale.json
+
+bench-faults:
+	$(PYTHON) -m repro.cli bench faults --out BENCH_faults.json

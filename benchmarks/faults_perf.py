@@ -1,0 +1,27 @@
+"""Runnable fault-tolerance harness (not collected by pytest).
+
+Thin wrapper over :mod:`repro.experiments.faults_perf` so the benchmark
+directory has a one-command entry point::
+
+    PYTHONPATH=src python benchmarks/faults_perf.py [--out BENCH_faults.json ...]
+
+Trains one (model, loss) cell, exports it sharded, then injects seeded
+latency/error faults into one shard while a fixed request stream runs
+under the deadline-only baseline and the full resilient policy (retries
++ hedged requests + circuit breakers), writing ``BENCH_faults.json``
+(schema ``bsl-faults-bench/v1``).  Equivalent to
+``python -m repro.cli bench faults``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+if __name__ == "__main__":
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    src = repo_root / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    from repro.cli import main
+    raise SystemExit(main(["bench", "faults", *sys.argv[1:]]))

@@ -238,6 +238,31 @@ def _configure_refresh(parser) -> None:
     parser.add_argument("--out", default="BENCH_refresh.json")
 
 
+def _configure_faults(parser) -> None:
+    parser.add_argument("--dataset", default="yelp2018-small",
+                        choices=dataset_names())
+    parser.add_argument("--model", default="mf", choices=model_names())
+    parser.add_argument("--loss", default="bsl", choices=loss_names())
+    parser.add_argument("--epochs", type=int, default=8)
+    parser.add_argument("--dim", type=int, default=64)
+    parser.add_argument("--k", type=int, default=DEFAULT_TOP_K)
+    parser.add_argument("--shards", type=int, default=4,
+                        help="item shards (shard 1 is made faulty)")
+    parser.add_argument("--requests", type=int, default=400,
+                        help="sequential requests per (scenario, policy)")
+    parser.add_argument("--slo-ms", type=float, default=15.0)
+    parser.add_argument("--deadline-ms", type=float, default=12.0,
+                        help="per-shard deadline budget across attempts")
+    parser.add_argument("--hedge-ms", type=float, default=2.0)
+    parser.add_argument("--retries", type=int, default=1)
+    parser.add_argument("--latency-ms", type=float, default=25.0,
+                        help="injected straggler sleep (slow_shard rows)")
+    parser.add_argument("--rates", default="0.0,0.05,0.1,0.2",
+                        help="comma-separated slow-shard fault rates")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_faults.json")
+
+
 def _configure_scale(parser) -> None:
     parser.add_argument("--levels", default="scale-100k,scale-300k,scale-1m",
                         help="comma-separated scale preset names "
@@ -414,6 +439,26 @@ def _run_refresh(args) -> int:
     return 0
 
 
+def _run_faults(args) -> int:
+    from repro.experiments.faults_perf import (FaultsPerfConfig,
+                                               run_faults_suite,
+                                               summarize_faults)
+    from repro.experiments.perf import write_report
+    config = FaultsPerfConfig(
+        dataset=args.dataset, model=args.model, loss=args.loss,
+        epochs=args.epochs, dim=args.dim, k=args.k, shards=args.shards,
+        requests=args.requests, slo_ms=args.slo_ms,
+        deadline_ms=args.deadline_ms, hedge_ms=args.hedge_ms,
+        retries=args.retries, latency_ms=args.latency_ms,
+        fault_rates=tuple(float(r) for r in args.rates.split(",")),
+        seed=args.seed)
+    payload = run_faults_suite(config)
+    write_report(payload, args.out)
+    print(summarize_faults(payload))
+    print(f"wrote {args.out}")
+    return 0
+
+
 def _run_scale(args) -> int:
     from repro.experiments.perf import write_report
     from repro.experiments.scale_perf import (ScalePerfConfig,
@@ -545,6 +590,24 @@ SUITES = {suite.name: suite for suite in (
         make_target="bench-obs",
         configure=_configure_obs,
         run=_run_obs),
+    BenchSuite(
+        name="faults",
+        help="availability and tail latency under injected shard "
+             "faults, with and without hedging + circuit breakers",
+        schema="bsl-faults-bench/v1",
+        output="BENCH_faults.json",
+        required_kinds=frozenset({"faults"}),
+        row_fields={
+            "faults": {"scenario", "policy", "fault_rate", "fault_kind",
+                       "requests", "availability", "degraded_rate",
+                       "error_rate", "p50_ms", "p99_ms", "retries",
+                       "hedges", "hedge_wins", "shard_failures",
+                       "breaker_open_skips", "k", "shards", "slo_ms",
+                       "deadline_ms"},
+        },
+        make_target="bench-faults",
+        configure=_configure_faults,
+        run=_run_faults),
     BenchSuite(
         name="scale",
         help="out-of-core million-scale pipeline: step time and peak "

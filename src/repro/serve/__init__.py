@@ -25,6 +25,16 @@ deletes against a base version, and
 :meth:`~repro.serve.runtime.ServingRuntime.refresh` swap the served
 version atomically between micro-batches (see ``docs/live_index.md``).
 
+The serving path is hardened for partial failure: the sharded router
+takes a :class:`~repro.serve.resilience.ResilienceConfig` (per-shard
+deadlines, jittered retries, hedged backup requests, circuit breakers)
+and reports shard loss as **explicit degraded results**
+(``TopKResult.coverage`` / ``Recommendation.degraded``) or a
+:class:`~repro.serve.resilience.PartialResultError` in strict mode —
+never a silently-wrong top-k.  :mod:`repro.serve.faults` provides a
+deterministic, seeded fault-injection harness for chaos testing (see
+``docs/robustness.md``).
+
 Typical flow (also available as ``repro export`` / ``repro recommend``)::
 
     from repro.serve import export_snapshot, load_snapshot
@@ -40,13 +50,20 @@ from repro.serve.delta import (DELTA_SCHEMA, Delta, DeltaManifest, DeltaOps,
                                LiveState, apply_deltas, diff_states,
                                export_delta, export_state, is_delta,
                                load_delta, replay_deltas, write_delta)
+from repro.serve.faults import (FAULT_KINDS, FaultEvent, FaultPlan, FaultSpec,
+                                FaultyIndex, FaultyService, FaultyShardIndex,
+                                InjectedFault, ManualClock, corrupt_array_file)
 from repro.serve.index import (PANEL_WIDTH, ExactTopKIndex,
                                QuantizedTopKIndex, TopKIndex, TopKResult,
                                build_index)
+from repro.serve.resilience import (BreakerConfig, BreakerOpenError,
+                                    CircuitBreaker, PartialResultError,
+                                    ResilienceConfig, ShardCallError)
 from repro.serve.router import (RouterStats, ShardedRecommendationService,
                                 ShardedTopKIndex)
-from repro.serve.runtime import (AsyncRequest, OverloadError, RuntimeConfig,
-                                 RuntimeStats, ServingRuntime)
+from repro.serve.runtime import (AsyncRequest, DeadlineExceeded, OverloadError,
+                                 RuntimeConfig, RuntimeStats, ServingRuntime,
+                                 WorkerCrashed)
 from repro.serve.service import (LRUCache, PendingRequest, Recommendation,
                                  RecommendationService, ServiceStats)
 from repro.serve.shard import (ExactShardIndex, ItemShard, ItemShardIndex,
@@ -56,10 +73,12 @@ from repro.serve.shard import (ExactShardIndex, ItemShard, ItemShardIndex,
 from repro.serve.snapshot import (SHARD_SCHEMA, SHARDED_SCHEMA,
                                   SNAPSHOT_SCHEMA, EmbeddingSnapshot,
                                   ShardManifest, ShardedManifest,
-                                  SnapshotManifest, export_sharded_snapshot,
+                                  SnapshotIntegrityError, SnapshotManifest,
+                                  export_sharded_snapshot,
                                   export_sharded_source_snapshot,
                                   export_snapshot, is_sharded_snapshot,
-                                  load_snapshot, partition_ids)
+                                  load_snapshot, partition_ids,
+                                  quarantine_snapshot)
 
 __all__ = [
     "SNAPSHOT_SCHEMA", "SHARD_SCHEMA", "SHARDED_SCHEMA",
@@ -80,4 +99,11 @@ __all__ = [
     "DELTA_SCHEMA", "DeltaManifest", "DeltaOps", "Delta", "LiveState",
     "diff_states", "export_delta", "write_delta", "export_state",
     "is_delta", "load_delta", "replay_deltas", "apply_deltas",
+    "SnapshotIntegrityError", "quarantine_snapshot",
+    "FAULT_KINDS", "FaultSpec", "FaultEvent", "FaultPlan", "InjectedFault",
+    "FaultyShardIndex", "FaultyIndex", "FaultyService", "corrupt_array_file",
+    "ManualClock",
+    "ResilienceConfig", "BreakerConfig", "CircuitBreaker",
+    "PartialResultError", "ShardCallError", "BreakerOpenError",
+    "DeadlineExceeded", "WorkerCrashed",
 ]

@@ -172,6 +172,14 @@ class TopKResult:
     ``items[r]`` are the top-K item ids for ``user_ids[r]``, best first;
     ``scores[r]`` are the corresponding model scores (the exact index
     returns the same float64 values the evaluator ranks on).
+
+    ``coverage`` / ``failed_shards`` carry the degraded-result contract
+    of the resilient router (``docs/robustness.md``): ``coverage`` is
+    the fraction of the item catalogue actually scored (1.0 everywhere
+    except a degraded scatter-gather answer), and ``failed_shards``
+    names the item shards that missed their deadline budget.  Ranks a
+    degraded merge could not fill are padded with item ``-1`` and score
+    ``-inf`` — never silently filled from partial data.
     """
 
     user_ids: np.ndarray
@@ -179,6 +187,8 @@ class TopKResult:
     scores: np.ndarray
     k: int
     filtered_seen: bool
+    coverage: float = 1.0
+    failed_shards: tuple = ()
 
     def __len__(self) -> int:
         return len(self.user_ids)

@@ -49,12 +49,35 @@ from repro.obs.metrics import Reservoir, get_registry
 from repro.obs.stats import RegistryBackedStats
 from repro.obs.trace import get_tracer
 
-__all__ = ["OverloadError", "RuntimeConfig", "RuntimeStats", "AsyncRequest",
+__all__ = ["OverloadError", "DeadlineExceeded", "WorkerCrashed",
+           "RuntimeConfig", "RuntimeStats", "AsyncRequest",
            "ServingRuntime", "latency_percentile"]
 
 
 class OverloadError(RuntimeError):
     """Raised by ``submit`` when the bounded admission queue is full."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request spent longer than its deadline in the admission queue.
+
+    Raised *through the future* (``AsyncRequest.result()``), never
+    silently: a request that already blew its budget waiting is failed
+    when the worker picks it up instead of being served late — the
+    caller has certainly stopped waiting, and serving it would only
+    push the requests behind it past their own deadlines.
+    """
+
+
+class WorkerCrashed(RuntimeError):
+    """The runtime's worker loop died; pending futures carry the cause.
+
+    Surfaced in two places: on every future that was pending when the
+    worker crashed (``__cause__`` holds the original exception), and
+    from ``submit()`` once the supervisor has fail-stopped (crash
+    budget exhausted, or ``restart_on_crash=False``) — the runtime
+    refuses new work loudly instead of queueing into a dead loop.
+    """
 
 
 def latency_percentile(samples, q: float) -> float:
@@ -100,8 +123,22 @@ class RuntimeConfig:
     #: arbitrarily long soaks while the quantiles describe the whole run
     reservoir_size: int = 2048
     reservoir_seed: int = 0
+    #: per-request deadline (enqueue → batch start), milliseconds; a
+    #: request still queued past it fails with :class:`DeadlineExceeded`
+    #: when the worker picks it up.  ``None`` disables deadlines.
+    deadline_ms: float | None = None
+    #: supervisor policy after a worker-loop crash: restart in place
+    #: (up to ``max_restarts`` times) or fail-stop immediately
+    restart_on_crash: bool = True
+    max_restarts: int = 3
 
     def __post_init__(self):
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be positive, "
+                             f"got {self.deadline_ms}")
+        if self.max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, "
+                             f"got {self.max_restarts}")
         if self.slo_ms <= 0:
             raise ValueError(f"slo_ms must be positive, got {self.slo_ms}")
         if self.max_queue <= 0:
@@ -154,6 +191,9 @@ class RuntimeStats(RegistryBackedStats):
         "shrinks": "batch-size controller shrink steps",
         "refreshes": "snapshot refreshes applied between batches",
         "refresh_s": "seconds spent applying refreshes",
+        "deadline_expired": "requests failed in queue past their deadline",
+        "worker_crashes": "worker-loop crashes caught by the supervisor",
+        "worker_restarts": "supervisor restarts after a crash",
     }
 
     @property
@@ -179,7 +219,7 @@ class AsyncRequest:
     """
 
     __slots__ = ("user_id", "k", "filter_seen", "enqueued_at", "started_at",
-                 "finished_at", "_event", "_result", "_error")
+                 "finished_at", "deadline_at", "_event", "_result", "_error")
 
     def __init__(self, user_id: int, k: int, filter_seen: bool):
         self.user_id = user_id
@@ -188,6 +228,7 @@ class AsyncRequest:
         self.enqueued_at: float | None = None
         self.started_at: float | None = None
         self.finished_at: float | None = None
+        self.deadline_at: float | None = None
         self._event = threading.Event()
         self._result = None
         self._error: BaseException | None = None
@@ -281,6 +322,8 @@ class ServingRuntime:
         self._worker: threading.Thread | None = None
         self._refresh_lock = threading.Lock()
         self._refresh_slot: dict | None = None
+        self._crash_count = 0
+        self._fatal: BaseException | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -290,9 +333,16 @@ class ServingRuntime:
         return self._worker is not None and self._worker.is_alive()
 
     def start(self) -> "ServingRuntime":
-        """Spawn the worker thread (idempotent while running)."""
+        """Spawn the worker thread (idempotent while running).
+
+        Starting a runtime that previously **fail-stopped** clears the
+        fatal state and the crash budget — an explicit operator restart
+        begins a fresh supervision episode.
+        """
         if not self.running:
             self._stop.clear()
+            self._fatal = None
+            self._crash_count = 0
             self._worker = threading.Thread(target=self._run,
                                             name="serving-runtime",
                                             daemon=True)
@@ -327,9 +377,17 @@ class ServingRuntime:
         explicit overload contract: a caller sees backpressure at
         submit time rather than a result that silently missed the SLO
         after minutes in an unbounded backlog.
+
+        Raises :class:`WorkerCrashed` when the runtime has fail-stopped
+        — new work is refused loudly instead of queueing into a dead
+        loop (call :meth:`start` again for an explicit restart).
         """
+        self._check_worker()
         request = AsyncRequest(user_id, k, filter_seen)
         request.enqueued_at = time.perf_counter()
+        if self.config.deadline_ms is not None:
+            request.deadline_at = (request.enqueued_at
+                                   + self.config.deadline_ms / 1e3)
         try:
             self._queue.put_nowait(request)
         except queue.Full:
@@ -344,6 +402,64 @@ class ServingRuntime:
     def pending(self) -> int:
         """Admitted requests not yet picked up by the worker."""
         return self._queue.qsize()
+
+    def _check_worker(self) -> None:
+        """Watchdog at the interaction points: surface a dead worker.
+
+        Covers both death modes — the supervisor fail-stopped (fatal is
+        recorded), or the thread died without passing through the
+        supervisor at all (nothing in the loop should allow that; if it
+        happens anyway, pending futures are failed here rather than
+        hanging until their timeouts).
+        """
+        if self._fatal is not None:
+            raise WorkerCrashed(
+                f"serving worker fail-stopped: {self._fatal!r}; "
+                f"call start() to restart") from self._fatal
+        worker = self._worker
+        if (worker is not None and not worker.is_alive()
+                and not self._stop.is_set()):
+            self._fatal = RuntimeError("worker thread died unexpectedly")
+            self.stats.worker_crashes += 1
+            self._fail_pending(WorkerCrashed(
+                "worker thread died unexpectedly"))
+            raise WorkerCrashed(
+                "serving worker thread died unexpectedly; "
+                "call start() to restart")
+
+    def _fail_pending(self, error: BaseException) -> int:
+        """Fail every queued request with ``error``; returns the count."""
+        failed = 0
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                return failed
+            request._error = error
+            request._event.set()
+            failed += 1
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Readiness probe: ``ok`` iff the worker is alive and sane.
+
+        Cheap enough to poll from a load balancer loop; ``fatal``
+        carries the repr of the crash that fail-stopped the runtime (or
+        ``None``).
+        """
+        running = self.running
+        return {
+            "ok": running and self._fatal is None,
+            "running": running,
+            "pending": self.pending,
+            "batch_size": self.batch_size,
+            "worker_crashes": int(self.stats.worker_crashes),
+            "worker_restarts": int(self.stats.worker_restarts),
+            "fatal": repr(self._fatal) if self._fatal is not None else None,
+            "snapshot_version": self.service.snapshot.version,
+        }
 
     # ------------------------------------------------------------------
     # Live refresh
@@ -452,18 +568,49 @@ class ServingRuntime:
     # Worker
     # ------------------------------------------------------------------
     def _run(self) -> None:
+        """Supervised worker loop.
+
+        ``_execute`` already guarantees every picked-up future resolves,
+        so nothing in the loop body *should* escape — but a bug must not
+        leave callers blocked on futures forever.  The supervisor
+        catches any escape, fails the whole backlog with
+        :class:`WorkerCrashed` (carrying the cause), and either restarts
+        the loop in place (``restart_on_crash``, up to ``max_restarts``)
+        or fail-stops: the thread exits, :meth:`health` reports the
+        fatal cause, and :meth:`submit` refuses new work loudly.
+        """
         while True:
-            # Swaps land here — strictly between micro-batches, so a
-            # batch in flight always finishes on the version it started.
-            self._apply_refresh()
-            batch = self._collect_batch()
-            if batch:
-                self._execute(batch)
-            elif self._stop.is_set():
-                return
+            try:
+                # Swaps land here — strictly between micro-batches, so a
+                # batch in flight always finishes on the version it
+                # started.
+                self._apply_refresh()
+                batch = self._collect_batch()
+                if batch:
+                    self._execute(batch)
+                elif self._stop.is_set():
+                    return
+            except BaseException as exc:  # noqa: BLE001 — supervisor
+                self._crash_count += 1
+                self.stats.worker_crashes += 1
+                crash = WorkerCrashed(f"serving worker crashed: {exc!r}")
+                crash.__cause__ = exc
+                self._fail_pending(crash)
+                if (self._stop.is_set()
+                        or not self.config.restart_on_crash
+                        or self._crash_count > self.config.max_restarts):
+                    self._fatal = exc
+                    return
+                self.stats.worker_restarts += 1
 
     def _collect_batch(self) -> list[AsyncRequest]:
-        """Up to ``batch_size`` queued requests; [] after an idle poll."""
+        """Up to ``batch_size`` queued requests; [] after an idle poll.
+
+        Requests whose deadline already passed while queued are failed
+        here with :class:`DeadlineExceeded` — the deadline is enforced
+        at pickup, before any service work is spent on a request whose
+        caller has stopped waiting.
+        """
         try:
             first = self._queue.get(timeout=1e-3 * self.config.poll_ms)
         except queue.Empty:
@@ -474,9 +621,38 @@ class ServingRuntime:
                 batch.append(self._queue.get_nowait())
             except queue.Empty:
                 break
-        return batch
+        if self.config.deadline_ms is None:
+            return batch
+        now = time.perf_counter()
+        live = []
+        for request in batch:
+            if request.deadline_at is not None and now > request.deadline_at:
+                self.stats.deadline_expired += 1
+                request._error = DeadlineExceeded(
+                    f"request for user {request.user_id} waited "
+                    f"{1e3 * (now - request.enqueued_at):.1f} ms in queue "
+                    f"(deadline {self.config.deadline_ms:g} ms)")
+                request._event.set()
+            else:
+                live.append(request)
+        return live
 
     def _execute(self, batch: list[AsyncRequest]) -> None:
+        # Resolution guarantee: every request in ``batch`` gets its
+        # event set before this method returns — by the normal
+        # accounting loop, or by the ``finally`` backstop if anything
+        # escapes.  A picked-up future must never hang.
+        try:
+            self._execute_inner(batch)
+        finally:
+            for request in batch:
+                if not request._event.is_set():
+                    if request._error is None and request._result is None:
+                        request._error = WorkerCrashed(
+                            "worker failed before publishing this batch")
+                    request._event.set()
+
+    def _execute_inner(self, batch: list[AsyncRequest]) -> None:
         # When tracing is on, the batch span's own clock readings become
         # started/finished, so the span tree and the queue_s/service_s
         # counters are derived from the same samples — breakdown() and a
@@ -494,11 +670,16 @@ class ServingRuntime:
                     answers = self.service.recommend(
                         [m.user_id for m in members], k=k,
                         filter_seen=filter_seen)
+                    if len(answers) != len(members):
+                        # A short/long answer list must not zip into
+                        # silent Nones for the tail of the group.
+                        raise RuntimeError(
+                            f"service returned {len(answers)} answers "
+                            f"for {len(members)} requests")
                 except BaseException as exc:  # propagate to every waiter
-                    answers = None
                     for member in members:
                         member._error = exc
-                if answers is not None:
+                else:
                     for member, answer in zip(members, answers):
                         member._result = answer
         finished = span.end_s if span is not None else time.perf_counter()

@@ -19,6 +19,8 @@ serving stack.  It adds two things on top of an index:
 from __future__ import annotations
 
 import dataclasses
+import pathlib
+import threading
 import time
 from collections import OrderedDict
 
@@ -39,6 +41,13 @@ class Recommendation:
 
     ``items``/``scores`` are read-only views shared with the service's
     result cache — call ``.copy()`` before mutating them.
+
+    ``degraded`` marks an answer merged under partial shard coverage
+    (the resilient router dropped a shard that failed its deadline
+    budget): ``coverage`` is the catalogue fraction actually scored and
+    unfillable ranks carry item ``-1`` / score ``-inf``.  Degraded
+    answers are **never cached**, so one bad minute cannot keep serving
+    partial lists after the shard recovers (``docs/robustness.md``).
     """
 
     user_id: int
@@ -46,6 +55,8 @@ class Recommendation:
     scores: np.ndarray
     snapshot_version: str
     from_cache: bool = False
+    degraded: bool = False
+    coverage: float = 1.0
 
 
 class ServiceStats(RegistryBackedStats):
@@ -84,6 +95,8 @@ class ServiceStats(RegistryBackedStats):
         "sweep_s": "wall-clock seconds inside index topk() sweeps",
         "refreshes": "snapshot refresh() swaps applied",
         "cache_invalidated": "LRU entries evicted by refresh()",
+        "degraded_served": "user slots answered with partial shard coverage",
+        "refresh_rejected": "refresh() attempts rejected by verify failure",
     }
 
     @property
@@ -99,36 +112,51 @@ class ServiceStats(RegistryBackedStats):
 
 
 class LRUCache:
-    """Minimal ordered-dict LRU used for finished recommendations."""
+    """Ordered-dict LRU used for finished recommendations.
+
+    Explicitly **thread-safe**: the service is mutated from caller
+    threads and the serving runtime's worker concurrently (``get`` /
+    ``put`` on the request path, ``invalidate`` from ``refresh()``), so
+    every operation — including the read-modify-evict sequence in
+    ``put`` and the recency bump in ``get`` — holds one internal lock.
+    Python's ``OrderedDict`` offers no atomicity for compound
+    operations; without the lock a ``get`` racing an eviction can
+    ``KeyError`` on a key it just saw.
+    """
 
     def __init__(self, capacity: int):
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity
         self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key):
         """Return the cached value (refreshing recency) or ``None``."""
-        if key not in self._data:
-            return None
-        self._data.move_to_end(key)
-        return self._data[key]
+        with self._lock:
+            if key not in self._data:
+                return None
+            self._data.move_to_end(key)
+            return self._data[key]
 
     def put(self, key, value) -> None:
         """Insert/refresh a value, evicting the least recent past capacity."""
         if self.capacity == 0:
             return
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def clear(self) -> None:
         """Drop every cached entry."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def invalidate(self, predicate) -> int:
         """Drop every entry whose key satisfies ``predicate``; return count.
@@ -136,12 +164,15 @@ class LRUCache:
         Used by :meth:`RecommendationService.refresh` to evict exactly
         the entries keyed to a retired snapshot version while entries
         already keyed to the incoming version (e.g. warmed ahead of the
-        swap) survive.
+        swap) survive.  Atomic with respect to concurrent ``get`` /
+        ``put``: the whole scan-and-drop happens under the lock, so a
+        racing request can never resurrect a retired entry mid-sweep.
         """
-        stale = [key for key in self._data if predicate(key)]
-        for key in stale:
-            del self._data[key]
-        return len(stale)
+        with self._lock:
+            stale = [key for key in self._data if predicate(key)]
+            for key in stale:
+                del self._data[key]
+            return len(stale)
 
 
 class PendingRequest:
@@ -282,6 +313,10 @@ class RecommendationService:
                                 sweep_end, users=len(batch))
             self.stats.sweep_s += sweep_end - sweep_start
             self.stats.index_sweeps += 1
+            coverage = getattr(top, "coverage", 1.0)
+            degraded = coverage < 1.0
+            if degraded:
+                self.stats.degraded_served += len(batch)
             for row, user in enumerate(batch.tolist()):
                 items = top.items[row].copy()
                 scores = top.scores[row].copy()
@@ -291,11 +326,16 @@ class RecommendationService:
                 # silently poisoning every future cache hit.
                 items.flags.writeable = False
                 scores.flags.writeable = False
-                self.cache.put(self._key(user, k, filter_seen),
-                               (items, scores))
+                if not degraded:
+                    # Degraded lists never enter the LRU: a cached
+                    # partial answer would keep serving after the shard
+                    # recovered, and there is no TTL to age it out.
+                    self.cache.put(self._key(user, k, filter_seen),
+                                   (items, scores))
                 results[user] = Recommendation(
                     user_id=user, items=items, scores=scores,
-                    snapshot_version=self.snapshot.version)
+                    snapshot_version=self.snapshot.version,
+                    degraded=degraded, coverage=coverage)
         out: list[Recommendation] = []
         emitted: set[int] = set()
         for user in order:
@@ -367,7 +407,10 @@ class RecommendationService:
         """Swap in a new snapshot version; returns evicted cache entries.
 
         ``snapshot_or_deltas`` is either a loaded
-        :class:`~repro.serve.snapshot.EmbeddingSnapshot` or a list of
+        :class:`~repro.serve.snapshot.EmbeddingSnapshot`, a path to a
+        snapshot directory (delegated to :meth:`refresh_from_path`,
+        which verifies, quarantines on damage, and falls back to the
+        current version), or a list of
         :class:`~repro.serve.delta.Delta` objects, which are replayed
         in-memory against the current snapshot
         (:func:`~repro.serve.delta.apply_deltas`).  ``index`` overrides
@@ -381,12 +424,54 @@ class RecommendationService:
         retired ``(version, kind)`` pairs are evicted — entries already
         keyed to the incoming version survive.
         """
+        if isinstance(snapshot_or_deltas, (str, pathlib.Path)):
+            return self.refresh_from_path(snapshot_or_deltas, index=index)
         if isinstance(snapshot_or_deltas, EmbeddingSnapshot):
             snapshot = snapshot_or_deltas
         else:
             from repro.serve.delta import apply_deltas
             snapshot = apply_deltas(self.snapshot, list(snapshot_or_deltas))
         return self._swap(snapshot, index)
+
+    def refresh_from_path(self, path, *, mmap: bool = True,
+                          quarantine: bool = True, index=None) -> int:
+        """Verified refresh from a snapshot directory, with fallback.
+
+        Loads ``path`` (sharded or not — detected by layout) with
+        ``verify=True`` and swaps it in.  A snapshot that fails to load
+        or fails its content-hash verify is **rejected**: the service
+        keeps serving its current (last-good) version untouched, the
+        damaged directory is moved aside
+        (:func:`~repro.serve.snapshot.quarantine_snapshot`, unless
+        ``quarantine=False``), and
+        :class:`~repro.serve.snapshot.SnapshotIntegrityError` is raised
+        with the quarantine location attached — the explicit
+        alternative to either crashing the serving path or silently
+        serving corrupt embeddings.
+        """
+        from repro.serve.snapshot import (SnapshotIntegrityError,
+                                          is_sharded_snapshot, load_snapshot,
+                                          quarantine_snapshot)
+        path = pathlib.Path(path)
+        try:
+            if is_sharded_snapshot(path):
+                from repro.serve.shard import load_sharded_snapshot
+                snapshot = load_sharded_snapshot(path, mmap=mmap,
+                                                 verify=True)
+            else:
+                snapshot = load_snapshot(path, mmap=mmap, verify=True)
+        except Exception as exc:
+            self.stats.refresh_rejected += 1
+            quarantined = None
+            if quarantine and path.exists():
+                quarantined = quarantine_snapshot(path)
+            raise SnapshotIntegrityError(
+                f"refresh from {path} rejected ({exc}); still serving "
+                f"last-good snapshot {self.snapshot.version!r}"
+                + (f"; damaged files moved to {quarantined}"
+                   if quarantined is not None else ""),
+                quarantined_to=quarantined) from exc
+        return self.refresh(snapshot, index=index)
 
     def _swap(self, snapshot, index: TopKIndex | None) -> int:
         """Version-checked snapshot/index/cache swap shared with the

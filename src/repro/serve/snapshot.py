@@ -36,9 +36,11 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 import pathlib
 import re
 import shutil
+import tempfile
 import time
 
 import numpy as np
@@ -49,7 +51,8 @@ from repro.models.base import Recommender
 
 __all__ = ["SNAPSHOT_SCHEMA", "SHARD_SCHEMA", "SHARDED_SCHEMA",
            "SnapshotManifest", "ShardManifest", "ShardedManifest",
-           "EmbeddingSnapshot", "export_snapshot", "load_snapshot",
+           "EmbeddingSnapshot", "SnapshotIntegrityError",
+           "export_snapshot", "load_snapshot", "quarantine_snapshot",
            "partition_ids", "export_sharded_snapshot",
            "export_sharded_source_snapshot", "is_sharded_snapshot"]
 
@@ -74,6 +77,45 @@ _FILES = {
     "seen_items": "seen_items.npy",
 }
 _MANIFEST = "manifest.json"
+
+#: staging-directory prefix of the crash-safe exporters
+_STAGING_PREFIX = ".staging-"
+
+
+class SnapshotIntegrityError(RuntimeError):
+    """A snapshot failed its content-hash verify (or did not load).
+
+    Raised by
+    :meth:`repro.serve.service.RecommendationService.refresh_from_path`
+    when the candidate snapshot is rejected: the service keeps serving
+    its last-good version and, with quarantine enabled, the bad
+    directory is moved aside (``quarantined_to``) so a retry loop does
+    not keep re-reading the same damaged files.
+    """
+
+    def __init__(self, message: str, *, quarantined_to=None):
+        super().__init__(message)
+        self.quarantined_to = quarantined_to
+
+
+def _staging_dir(out_dir: pathlib.Path) -> pathlib.Path:
+    """Fresh staging directory *inside* ``out_dir`` (same filesystem, so
+    every ``os.replace`` out of it is an atomic rename)."""
+    return pathlib.Path(tempfile.mkdtemp(prefix=_STAGING_PREFIX,
+                                         dir=out_dir))
+
+
+def _atomic_write_text(path: pathlib.Path, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory tmp file + rename,
+    so readers never observe a partially written file."""
+    fd, tmp = tempfile.mkstemp(prefix=f".{path.name}.", dir=path.parent)
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        pathlib.Path(tmp).unlink(missing_ok=True)
+        raise
 
 
 @dataclasses.dataclass(frozen=True)
@@ -224,17 +266,35 @@ def _frozen_tables(model: Recommender) -> tuple[np.ndarray, np.ndarray]:
 def _write_arrays(out_dir: pathlib.Path, manifest: SnapshotManifest,
                   users: np.ndarray, items: np.ndarray,
                   seen_indptr: np.ndarray, seen_items: np.ndarray) -> None:
-    """Persist the four snapshot arrays plus the manifest.
+    """Persist the four snapshot arrays plus the manifest, crash-safely.
 
     The single write path shared by :func:`export_snapshot` and the
     delta-replay exporter (:func:`repro.serve.delta.export_state`), so
     "replayed chain == fresh export" can be checked byte for byte.
+
+    **Crash safety.**  Every file is fully written into a staging
+    directory on the same filesystem first, then published with
+    ``os.replace`` — the manifest **last**, as the commit point.  A
+    crash while staging leaves the previous export untouched (the
+    orphaned staging directory is swept by the next export); a crash
+    mid-publish can interleave old and new *complete* files, a torn
+    state ``load_snapshot(verify=True)`` rejects by content hash — a
+    truncated, unparseable array can never be published.  Exporting
+    into a fresh directory (the usual refresh pattern) is therefore
+    fully atomic: the snapshot exists only once its manifest does.
     """
-    np.save(out_dir / _FILES["users"], users)
-    np.save(out_dir / _FILES["items"], items)
-    np.save(out_dir / _FILES["seen_indptr"], seen_indptr)
-    np.save(out_dir / _FILES["seen_items"], seen_items)
-    (out_dir / _MANIFEST).write_text(manifest.to_json() + "\n")
+    staging = _staging_dir(out_dir)
+    try:
+        np.save(staging / _FILES["users"], users)
+        np.save(staging / _FILES["items"], items)
+        np.save(staging / _FILES["seen_indptr"], seen_indptr)
+        np.save(staging / _FILES["seen_items"], seen_items)
+        (staging / _MANIFEST).write_text(manifest.to_json() + "\n")
+        for fname in _FILES.values():
+            os.replace(staging / fname, out_dir / fname)
+        os.replace(staging / _MANIFEST, out_dir / _MANIFEST)
+    finally:
+        shutil.rmtree(staging, ignore_errors=True)
 
 
 def export_snapshot(model: Recommender, dataset: InteractionDataset,
@@ -460,11 +520,15 @@ def _remove_stale_layout(out_dir: pathlib.Path, *,
     subdirectories always go (a re-export with a smaller shard count
     must not leave orphans); they are only removed when they match the
     exporter's naming pattern *and* carry a shard manifest, so
-    unrelated user files are never touched.
+    unrelated user files are never touched.  Orphaned staging
+    directories from a crashed export are swept here too (they carry
+    the exporter's own prefix, so they cannot be user files).
     """
     (out_dir / _SHARDS_MANIFEST).unlink(missing_ok=True)
     for child in out_dir.iterdir():
-        if (child.is_dir() and _SHARD_DIR.match(child.name)
+        if child.is_dir() and child.name.startswith(_STAGING_PREFIX):
+            shutil.rmtree(child, ignore_errors=True)
+        elif (child.is_dir() and _SHARD_DIR.match(child.name)
                 and (child / _MANIFEST).is_file()):
             shutil.rmtree(child)
     if for_sharded:
@@ -507,9 +571,13 @@ def _csr_rows(indptr: np.ndarray, items: np.ndarray,
 def _write_user_shard(out_dir: pathlib.Path, index: int, ids: np.ndarray,
                       users: np.ndarray, seen_csr: tuple,
                       base: dict) -> dict:
-    """Persist one user shard directory; returns its shards.json entry."""
+    """Persist one user shard directory; returns its shards.json entry.
+
+    Staged and published with one directory rename: the shard either
+    exists complete or not at all (the stale previous shard was removed
+    by ``_remove_stale_layout`` before any writing began).
+    """
     shard_dir = out_dir / f"user-shard-{index:02d}"
-    shard_dir.mkdir(parents=True, exist_ok=True)
     rows = np.ascontiguousarray(users[ids])
     indptr, seen = _csr_rows(seen_csr[0], seen_csr[1], ids)
     version = _content_version(
@@ -518,19 +586,29 @@ def _write_user_shard(out_dir: pathlib.Path, index: int, ids: np.ndarray,
     manifest = ShardManifest(schema=SHARD_SCHEMA, version=version,
                              kind="user", index=index, count=len(ids),
                              **base)
-    np.save(shard_dir / "user_embeddings.npy", rows)
-    np.save(shard_dir / "user_ids.npy", ids)
-    np.save(shard_dir / "seen_indptr.npy", indptr)
-    np.save(shard_dir / "seen_items.npy", seen)
-    (shard_dir / _MANIFEST).write_text(manifest.to_json() + "\n")
+    staging = _staging_dir(out_dir)
+    try:
+        np.save(staging / "user_embeddings.npy", rows)
+        np.save(staging / "user_ids.npy", ids)
+        np.save(staging / "seen_indptr.npy", indptr)
+        np.save(staging / "seen_items.npy", seen)
+        (staging / _MANIFEST).write_text(manifest.to_json() + "\n")
+        if shard_dir.exists():
+            shutil.rmtree(shard_dir)
+        os.replace(staging, shard_dir)
+    finally:
+        shutil.rmtree(staging, ignore_errors=True)
     return {"path": shard_dir.name, "version": version, "count": len(ids)}
 
 
 def _write_item_shard(out_dir: pathlib.Path, index: int, ids: np.ndarray,
                       items: np.ndarray, base: dict) -> dict:
-    """Persist one item shard directory; returns its shards.json entry."""
+    """Persist one item shard directory; returns its shards.json entry.
+
+    Staged and published with one directory rename, exactly like
+    :func:`_write_user_shard`.
+    """
     shard_dir = out_dir / f"item-shard-{index:02d}"
-    shard_dir.mkdir(parents=True, exist_ok=True)
     rows = np.ascontiguousarray(items[ids])
     version = _content_version(
         rows, ids, np.empty(0, np.int64), np.empty(0, np.int64),
@@ -538,9 +616,16 @@ def _write_item_shard(out_dir: pathlib.Path, index: int, ids: np.ndarray,
     manifest = ShardManifest(schema=SHARD_SCHEMA, version=version,
                              kind="item", index=index, count=len(ids),
                              **base)
-    np.save(shard_dir / "item_embeddings.npy", rows)
-    np.save(shard_dir / "item_ids.npy", ids)
-    (shard_dir / _MANIFEST).write_text(manifest.to_json() + "\n")
+    staging = _staging_dir(out_dir)
+    try:
+        np.save(staging / "item_embeddings.npy", rows)
+        np.save(staging / "item_ids.npy", ids)
+        (staging / _MANIFEST).write_text(manifest.to_json() + "\n")
+        if shard_dir.exists():
+            shutil.rmtree(shard_dir)
+        os.replace(staging, shard_dir)
+    finally:
+        shutil.rmtree(staging, ignore_errors=True)
     return {"path": shard_dir.name, "version": version, "count": len(ids)}
 
 
@@ -605,7 +690,9 @@ def _export_sharded_tables(out_dir, users, items, seen_csr, *,
         item_shards=item_entries,
         created_unix=time.time() if created_unix is None else created_unix,
         extra=dict(extra or {}))
-    (out_dir / _SHARDS_MANIFEST).write_text(manifest.to_json() + "\n")
+    # shards.json is the commit point: until this rename lands, the
+    # directory does not parse as a sharded snapshot at all.
+    _atomic_write_text(out_dir / _SHARDS_MANIFEST, manifest.to_json() + "\n")
 
     from repro.serve.shard import load_sharded_snapshot
     return load_sharded_snapshot(out_dir)
@@ -710,3 +797,24 @@ def export_sharded_source_snapshot(users, items, source, out_dir, *,
 def is_sharded_snapshot(path) -> bool:
     """True if ``path`` holds a sharded snapshot (has a ``shards.json``)."""
     return (pathlib.Path(path) / _SHARDS_MANIFEST).is_file()
+
+
+def quarantine_snapshot(path) -> pathlib.Path:
+    """Move a damaged snapshot directory aside; returns the new path.
+
+    Renames ``path`` to ``<path>.quarantined`` (suffixing ``-2``,
+    ``-3``, … if earlier quarantines exist), so a refresh retry loop
+    stops re-reading the same corrupt files while an operator can still
+    inspect them.  The rename is a single ``os.replace``-free
+    ``os.rename`` into a fresh name — never over existing data.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"nothing to quarantine at {path}")
+    target = path.with_name(path.name + ".quarantined")
+    suffix = 2
+    while target.exists():
+        target = path.with_name(f"{path.name}.quarantined-{suffix}")
+        suffix += 1
+    os.rename(path, target)
+    return target

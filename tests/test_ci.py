@@ -230,3 +230,31 @@ class TestObservabilityWiring:
     def test_verify_runs_metrics_smoke(self):
         text = (REPO_ROOT / "scripts" / "verify.sh").read_text()
         assert "metrics --demo --format prom --validate" in text
+
+
+class TestFaultToleranceWiring:
+    """The fault-injection/resilience layer is wired end to end."""
+
+    def test_bench_faults_target_and_artifact(self):
+        makefile = (REPO_ROOT / "Makefile").read_text()
+        assert re.search(r"^bench-faults:", makefile, re.MULTILINE)
+        assert "bench faults" in makefile
+        assert (REPO_ROOT / "BENCH_faults.json").exists()
+        assert (REPO_ROOT / "benchmarks" / "faults_perf.py").exists()
+
+    def test_faults_suite_registered(self):
+        from repro.experiments import bench
+        suite = bench.get_suite("faults")
+        assert suite.schema == "bsl-faults-bench/v1"
+        assert suite.output == "BENCH_faults.json"
+        assert "faults" in suite.required_kinds
+
+    def test_ci_slow_runs_chaos_soak(self):
+        commands = _run_commands(_load("ci-slow.yml"))
+        assert any("tests/test_faults.py" in c for c in commands)
+        assert any("bench faults" in c for c in commands)
+
+    def test_chaos_soak_file_exists_and_soaks(self):
+        text = (REPO_ROOT / "tests" / "test_faults.py").read_text()
+        assert "TestDeterministicSoak" in text
+        assert "TestRuntimeChaosSoak" in text

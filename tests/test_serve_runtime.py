@@ -301,3 +301,196 @@ class TestLatencyReservoir:
             mirror.add(v)
         assert twin.values() == mirror.values()
         assert twin.seen == 500
+
+
+# ----------------------------------------------------------------------
+# Robustness: deadlines, worker supervision, health (docs/robustness.md)
+# ----------------------------------------------------------------------
+class _SlowService:
+    """Delegating wrapper whose every ``recommend`` sleeps first."""
+
+    def __init__(self, inner, delay_s: float):
+        self._inner = inner
+        self._delay_s = delay_s
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def recommend(self, users, k=10, filter_seen=True):
+        time.sleep(self._delay_s)
+        return self._inner.recommend(users, k=k, filter_seen=filter_seen)
+
+
+class _PoisonService:
+    """Delegating wrapper that raises for batches containing ``bad``."""
+
+    def __init__(self, inner, bad: int):
+        self._inner = inner
+        self._bad = bad
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def recommend(self, users, k=10, filter_seen=True):
+        if self._bad in list(users):
+            raise ValueError(f"poisoned request for user {self._bad}")
+        return self._inner.recommend(users, k=k, filter_seen=filter_seen)
+
+
+class TestResultTimeout:
+    def test_result_expires_while_pending(self, service):
+        runtime = ServingRuntime(service, fast_config())
+        handle = runtime.submit(0, k=5)  # no worker started yet
+        with pytest.raises(TimeoutError, match="still pending"):
+            handle.result(timeout=0.05)
+        assert not handle.done
+        runtime.start()
+        runtime.stop()
+        assert handle.result(timeout=5.0).user_id == 0
+
+
+class TestQueueDeadlines:
+    def test_deadline_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(deadline_ms=0.0)
+        with pytest.raises(ValueError):
+            RuntimeConfig(max_restarts=-1)
+
+    def test_expired_requests_fail_with_deadline_exceeded(self, service):
+        from repro.serve import DeadlineExceeded
+        slow = _SlowService(service, 0.05)
+        config = fast_config(deadline_ms=20.0, initial_batch=2,
+                             max_batch=2, window=1024)
+        with ServingRuntime(slow, config) as runtime:
+            handles = [runtime.submit(u, k=5) for u in range(8)]
+            served = expired = 0
+            for handle in handles:
+                try:
+                    handle.result(timeout=10.0)
+                    served += 1
+                except DeadlineExceeded:
+                    expired += 1
+        # The first batch is picked up fresh; everything queued behind
+        # a 50 ms batch has blown its 20 ms deadline at pickup.
+        assert served >= 1 and expired >= 1
+        assert served + expired == 8
+        assert runtime.stats.deadline_expired == expired
+
+    def test_no_deadline_by_default(self, service):
+        with ServingRuntime(service, fast_config()) as runtime:
+            handle = runtime.submit(0, k=5)
+            assert handle.deadline_at is None
+            handle.result(timeout=10.0)
+
+
+class TestWorkerSupervision:
+    def test_service_exception_fails_batch_not_worker(self, service):
+        poison = _PoisonService(service, bad=3)
+        config = fast_config(initial_batch=1, max_batch=1)
+        with ServingRuntime(poison, config) as runtime:
+            ok = runtime.submit(0, k=5)
+            bad = runtime.submit(3, k=5)
+            after = runtime.submit(1, k=5)
+            assert ok.result(timeout=10.0).user_id == 0
+            with pytest.raises(ValueError, match="poisoned"):
+                bad.result(timeout=10.0)
+            # The worker survived the service error and kept serving.
+            assert after.result(timeout=10.0).user_id == 1
+            health = runtime.health()
+        assert health["ok"]
+        assert health["worker_crashes"] == 0
+
+    def test_crash_fails_backlog_with_cause_then_restarts(self, service):
+        from repro.serve import WorkerCrashed
+        runtime = ServingRuntime(service, fast_config())
+        handles = [runtime.submit(u, k=5) for u in range(5)]
+        original = runtime._collect_batch
+        state = {"fired": False}
+
+        def boom_once():
+            if not state["fired"]:
+                state["fired"] = True
+                raise RuntimeError("dropped the batch")
+            return original()
+
+        runtime._collect_batch = boom_once
+        runtime.start()
+        for handle in handles:
+            with pytest.raises(WorkerCrashed, match="dropped the batch"):
+                handle.result(timeout=10.0)
+            assert isinstance(handle._error.__cause__, RuntimeError)
+        # The supervisor restarted the loop in place; new work serves.
+        assert runtime.submit(7, k=5).result(timeout=10.0).user_id == 7
+        runtime.stop()
+        assert runtime.stats.worker_crashes == 1
+        assert runtime.stats.worker_restarts == 1
+        assert runtime.health()["worker_restarts"] == 1
+
+    def test_fail_stop_refuses_work_until_restarted(self, service):
+        from repro.serve import WorkerCrashed
+        runtime = ServingRuntime(service,
+                                 fast_config(restart_on_crash=False))
+
+        def always_boom():
+            raise RuntimeError("kaboom")
+
+        runtime._collect_batch = always_boom
+        runtime.start()
+        for _ in range(400):
+            if runtime._fatal is not None:
+                break
+            time.sleep(0.005)
+        health = runtime.health()
+        assert not health["ok"]
+        assert "kaboom" in health["fatal"]
+        with pytest.raises(WorkerCrashed, match="fail-stopped"):
+            runtime.submit(0, k=5)
+        # An explicit operator start() clears the fatal state.
+        del runtime._collect_batch
+        runtime.start()
+        assert runtime.health()["ok"]
+        assert runtime.submit(1, k=5).result(timeout=10.0).user_id == 1
+        runtime.stop()
+
+    def test_health_probe_reports_liveness(self, service):
+        runtime = ServingRuntime(service, fast_config())
+        idle = runtime.health()
+        assert not idle["ok"] and not idle["running"]
+        assert idle["fatal"] is None
+        with runtime:
+            live = runtime.health()
+            assert live["ok"] and live["running"]
+            assert live["snapshot_version"] == service.snapshot.version
+            assert live["pending"] == 0
+
+
+class TestRefreshRacesStop:
+    def test_refresh_concurrent_with_stop_never_hangs(
+            self, tiny_mf_snapshot, tmp_path):
+        from repro.serve import LiveState, RecommendationService
+        from repro.serve.delta import export_state
+        _, snap_a = tiny_mf_snapshot
+        state = LiveState.from_snapshot(snap_a)
+        state.upsert_item(0, np.ones(state.dim))
+        snap_b = export_state(state, tmp_path / "b", created_unix=1.0)
+        service = RecommendationService(snap_a)
+        runtime = ServingRuntime(service, fast_config())
+        runtime.start()
+        done = threading.Event()
+        errors = []
+
+        def do_refresh():
+            try:
+                runtime.refresh(snap_b, timeout=10.0)
+            except Exception as exc:  # noqa: BLE001 - recorded, asserted
+                errors.append(exc)
+            finally:
+                done.set()
+
+        refresher = threading.Thread(target=do_refresh)
+        refresher.start()
+        runtime.stop()
+        assert done.wait(10.0), "refresh hung across stop()"
+        refresher.join()
+        assert not errors
+        assert service.snapshot.version == snap_b.version

@@ -333,3 +333,44 @@ class TestPendingRequestLifecycle:
         rec = handle.result()
         assert rec.user_id == 2
         assert service.pending == 1  # resolving did not flush the newcomer
+
+
+class TestLRUCacheThreadSafety:
+    def test_concurrent_put_get_invalidate(self):
+        """Hammer one cache from many threads: no corruption, bound held.
+
+        The LRU is shared by the request path and ``refresh()``'s
+        invalidation sweep, so every operation must be safe under
+        concurrent mutation (an OrderedDict corrupts without the lock).
+        """
+        import threading
+
+        cache = LRUCache(64)
+        errors = []
+        start = threading.Barrier(8)
+
+        def hammer(worker):
+            try:
+                start.wait()
+                for i in range(2000):
+                    key = ("v", worker % 4, i % 100)
+                    cache.put(key, i)
+                    cache.get(("v", (worker + 1) % 4, i % 100))
+                    if i % 250 == 0:
+                        cache.invalidate(lambda k, w=worker: k[1] == w % 4)
+                    if i % 997 == 0:
+                        cache.clear()
+            except Exception as exc:  # noqa: BLE001 - recorded, asserted
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(w,))
+                   for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 64
+        # The cache still functions normally after the storm.
+        cache.put("after", 1)
+        assert cache.get("after") == 1

@@ -198,3 +198,78 @@ class TestDeltaIntegrity:
         (delta_dir / "user_delete_ids.npy").unlink()
         with pytest.raises(FileNotFoundError):
             load_delta(delta_dir, verify=True)
+
+
+class TestCrashSafePublish:
+    """Exports stage then rename: a killed exporter can't tear state."""
+
+    def test_crash_mid_export_leaves_no_half_snapshot(
+            self, tiny_dataset, monkeypatch, tmp_path):
+        """Fresh-dir export killed partway: target stays unloadable-empty.
+
+        The staged files never reach the publish names, so the
+        directory afterwards holds no manifest — a loader fails loudly
+        instead of reading a half-written snapshot.
+        """
+        model = MF(tiny_dataset.num_users, tiny_dataset.num_items,
+                   dim=8, rng=0)
+        real_save = np.save
+        calls = {"n": 0}
+
+        def dying_save(path, array, **kwargs):
+            calls["n"] += 1
+            if calls["n"] >= 3:
+                raise OSError("simulated crash mid-export")
+            return real_save(path, array, **kwargs)
+
+        monkeypatch.setattr(np, "save", dying_save)
+        with pytest.raises(OSError, match="simulated crash"):
+            export_snapshot(model, tiny_dataset, tmp_path / "snap",
+                            model_name="mf")
+        monkeypatch.setattr(np, "save", real_save)
+        assert not (tmp_path / "snap" / "manifest.json").exists()
+        assert not list((tmp_path / "snap").glob(".staging-*"))
+        with pytest.raises(Exception):
+            load_snapshot(tmp_path / "snap")
+
+    def test_crash_during_staging_keeps_old_snapshot_intact(
+            self, tiny_dataset, monkeypatch, tmp_path):
+        """Re-export over a live snapshot dies in staging: old one serves.
+
+        Staging happens in a hidden sibling directory before any
+        rename, so a crash there must leave the published files
+        byte-identical and verify-loadable.
+        """
+        model = MF(tiny_dataset.num_users, tiny_dataset.num_items,
+                   dim=8, rng=0)
+        out = tmp_path / "snap"
+        snapshot = export_snapshot(model, tiny_dataset, out,
+                                   model_name="mf")
+        good_version = snapshot.version
+
+        def dying_save(path, array, **kwargs):
+            raise OSError("simulated crash in staging")
+
+        monkeypatch.setattr(np, "save", dying_save)
+        model2 = MF(tiny_dataset.num_users, tiny_dataset.num_items,
+                    dim=8, rng=1)
+        with pytest.raises(OSError, match="in staging"):
+            export_snapshot(model2, tiny_dataset, out, model_name="mf")
+        monkeypatch.undo()
+        reloaded = load_snapshot(out, verify=True)
+        assert reloaded.version == good_version
+        assert not list(out.glob(".staging-*"))
+
+    def test_orphaned_staging_dirs_swept_on_next_export(
+            self, tiny_dataset, tmp_path):
+        """A .staging-* left by a SIGKILL is removed by the next export."""
+        model = MF(tiny_dataset.num_users, tiny_dataset.num_items,
+                   dim=8, rng=0)
+        out = tmp_path / "snap"
+        export_snapshot(model, tiny_dataset, out, model_name="mf")
+        orphan = out / ".staging-dead"
+        orphan.mkdir()
+        (orphan / "user_embeddings.npy").write_bytes(b"torn")
+        export_snapshot(model, tiny_dataset, out, model_name="mf")
+        assert not orphan.exists()
+        load_snapshot(out, verify=True)
